@@ -1,0 +1,80 @@
+// Command cadaptive runs the paper-reproduction experiments E1–E11 and
+// prints their tables.
+//
+// Usage:
+//
+//	cadaptive -list
+//	cadaptive -exp E3 -seed 1 -trials 20 -maxk 7
+//	cadaptive -exp all
+//
+// Every run is deterministic in (-seed, -trials, -maxk); EXPERIMENTS.md was
+// generated with the defaults.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cadaptive:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	def := core.DefaultConfig()
+	var (
+		exp    = flag.String("exp", "all", "experiment ID (E1..E11) or \"all\"")
+		seed   = flag.Uint64("seed", def.Seed, "random seed (all experiments are deterministic in it)")
+		trials = flag.Int("trials", def.Trials, "Monte-Carlo trials per measurement")
+		maxK   = flag.Int("maxk", def.MaxK, "largest problem-size exponent (n up to 4^maxk)")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		timing = flag.Bool("time", false, "print per-experiment wall time")
+		format = flag.String("format", "text", "output format: text | tsv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range core.Experiments() {
+			fmt.Printf("%-4s %-40s %s\n", e.ID, e.Source, e.Summary)
+		}
+		return nil
+	}
+
+	if *format != "text" && *format != "tsv" {
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	cfg := core.Config{Seed: *seed, Trials: *trials, MaxK: *maxK}
+	runOne := func(id string) error {
+		start := time.Now()
+		t, err := core.Run(id, cfg)
+		if err != nil {
+			return err
+		}
+		if *format == "tsv" {
+			fmt.Println(t.FormatTSV())
+		} else {
+			fmt.Println(t.Format())
+		}
+		if *timing {
+			fmt.Printf("[%s took %.1fs]\n", id, time.Since(start).Seconds())
+		}
+		return nil
+	}
+
+	if *exp == "all" {
+		for _, e := range core.Experiments() {
+			if err := runOne(e.ID); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return runOne(*exp)
+}

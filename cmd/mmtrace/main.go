@@ -1,0 +1,152 @@
+// Command mmtrace generates matrix-multiply block traces and replays them
+// against caches.
+//
+// Usage:
+//
+//	mmtrace -alg scan -dim 128 -block 8 -stats          # trace statistics
+//	mmtrace -alg inplace -dim 128 -lru 256              # DAM misses at fixed M
+//	mmtrace -alg scan -dim 128 -worstcase -reps 16      # multiplies under Fig-1 profile
+//
+// This is the substrate behind experiments E9 and E11.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dp"
+	"repro/internal/gep"
+	"repro/internal/matrix"
+	"repro/internal/paging"
+	"repro/internal/profile"
+	"repro/internal/sorting"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mmtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		alg       = flag.String("alg", "scan", "scan | inplace | strassen | fwscan | fwinplace | lcs | mergesort")
+		dim       = flag.Int("dim", 128, "matrix dimension (power of two)")
+		block     = flag.Int64("block", 8, "words per block")
+		stats     = flag.Bool("stats", false, "print trace statistics")
+		lru       = flag.Int64("lru", 0, "replay under fixed-capacity LRU with this many blocks")
+		opt       = flag.Bool("opt", false, "also replay under Belady OPT (with -lru)")
+		worstcase = flag.Bool("worstcase", false, "count multiplies completed within the Figure-1 profile")
+		reps      = flag.Int("reps", 16, "repetitions for -worstcase")
+		profPath  = flag.String("profile", "", "replay the trace against a TSV square profile (e.g. from profilegen)")
+	)
+	flag.Parse()
+
+	var tr *trace.Trace
+	var err error
+	switch *alg {
+	case "scan":
+		tr, err = matrix.TraceMulScan(*dim, *block)
+	case "inplace":
+		tr, err = matrix.TraceMulInPlace(*dim, *block)
+	case "strassen":
+		tr, err = matrix.TraceMulStrassen(*dim, *block)
+	case "fwscan":
+		tr, err = gep.TraceFWScan(*dim, *block)
+	case "fwinplace":
+		tr, err = gep.TraceFWInPlace(*dim, *block)
+	case "lcs":
+		tr, err = dp.TraceLCS(*dim, *block)
+	case "mergesort":
+		tr, err = sorting.TraceMergeSort(*dim, *block)
+	default:
+		return fmt.Errorf("unknown algorithm %q", *alg)
+	}
+	if err != nil {
+		return err
+	}
+
+	did := false
+	if *stats {
+		fmt.Printf("algorithm=%s dim=%d B=%d\n", *alg, *dim, *block)
+		fmt.Printf("references=%d distinct-blocks=%d base-cases=%d\n",
+			tr.Len(), tr.DistinctBlocks(), tr.Leaves())
+		did = true
+	}
+	if *lru > 0 {
+		misses, err := paging.RunLRUFixed(tr, *lru)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("LRU(M=%d blocks): %d misses (%.1f%% of references)\n",
+			*lru, misses, 100*float64(misses)/float64(tr.Len()))
+		if *opt {
+			om, err := paging.RunOPTFixed(tr, *lru)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("OPT(M=%d blocks): %d misses (LRU/OPT = %.2f)\n", *lru, om, float64(misses)/float64(om))
+		}
+		did = true
+	}
+	if *worstcase {
+		var wc *profile.SquareProfile
+		switch *alg {
+		case "scan", "inplace", "strassen":
+			wc, err = matrix.WorstCaseProfile(*dim, *block)
+		case "fwscan", "fwinplace":
+			wc, err = gep.WorstCaseProfile(*dim, *block)
+		case "mergesort":
+			wc, err = sorting.WorstCaseProfile(*dim, *block)
+		default:
+			return fmt.Errorf("-worstcase has no matched profile for %q", *alg)
+		}
+		if err != nil {
+			return err
+		}
+		rep, err := matrix.RepeatTraceFresh(tr, *reps)
+		if err != nil {
+			return err
+		}
+		end, err := paging.SquareRunFrom(rep, 0, wc.Boxes())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("worst-case profile: %d boxes, %d I/Os; %s completed %d multiplies\n",
+			wc.Len(), wc.Duration(), *alg, end/tr.Len())
+		did = true
+	}
+	if *profPath != "" {
+		f, err := os.Open(*profPath)
+		if err != nil {
+			return err
+		}
+		prof, err := profile.ReadTSV(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if prof.Len() == 0 {
+			return fmt.Errorf("profile %s is empty", *profPath)
+		}
+		src, err := profile.NewSliceSource(prof)
+		if err != nil {
+			return err
+		}
+		stats, err := paging.SquareRun(tr, src, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("custom profile %s (%d boxes, cycled as needed):\n", *profPath, prof.Len())
+		fmt.Printf("boxes used=%d IOs=%d base-cases completed=%d\n",
+			len(stats), paging.TotalIOs(stats), paging.TotalLeaves(stats))
+		did = true
+	}
+	if !did {
+		return fmt.Errorf("nothing to do: pass -stats, -lru, -worstcase, or -profile")
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+// Command profilegen generates and inspects memory profiles.
+//
+// Usage:
+//
+//	profilegen -type worstcase -a 8 -b 4 -n 1024            # Figure 1's profile
+//	profilegen -type worstcase -a 8 -b 4 -n 1024 -render    # ASCII skyline
+//	profilegen -type shuffled -a 8 -b 4 -n 1024 -seed 7     # randomly shuffled
+//	profilegen -type orderperturbed -a 8 -b 4 -n 1024       # the S4 smoothing
+//	profilegen -type sawtooth -min 16 -max 512 -period 600 -len 3000
+//	profilegen -type walk -min 16 -max 512 -step 8 -len 3000 -seed 7
+//
+// Raw (non-square) profiles are squared with the inner-square reduction
+// before printing. Output is one box size per line (TSV: index, size),
+// plus a summary on stderr; -render draws the profile instead.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/profile"
+	"repro/internal/smoothing"
+	"repro/internal/xrand"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "profilegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		typ    = flag.String("type", "worstcase", "worstcase | shuffled | orderperturbed | sawtooth | walk | constant")
+		a      = flag.Int64("a", 8, "recursion fan-out a")
+		b      = flag.Int64("b", 4, "shrink factor b")
+		n      = flag.Int64("n", 1024, "problem size (power of b) for recursive profiles")
+		minM   = flag.Int64("min", 16, "min size (raw profiles)")
+		maxM   = flag.Int64("max", 512, "max size (raw profiles)")
+		period = flag.Int("period", 600, "sawtooth period (I/Os)")
+		step   = flag.Int64("step", 8, "random-walk step")
+		length = flag.Int("len", 3000, "raw profile length (I/Os)")
+		seed   = flag.Uint64("seed", 1, "seed for randomised profiles")
+		render = flag.Bool("render", false, "draw an ASCII skyline instead of printing boxes")
+		limit  = flag.Int("limit", 1<<20, "refuse to print profiles with more boxes than this")
+	)
+	flag.Parse()
+
+	rng := xrand.New(*seed)
+	var p *profile.SquareProfile
+	var err error
+	switch *typ {
+	case "worstcase":
+		p, err = profile.WorstCase(*a, *b, *n)
+	case "shuffled":
+		p, err = profile.WorstCase(*a, *b, *n)
+		if err == nil {
+			p = smoothing.Shuffle(p, rng)
+		}
+	case "orderperturbed":
+		p, err = smoothing.OrderPerturbed(*a, *b, *n, rng)
+	case "sawtooth":
+		var raw []int64
+		raw, err = profile.Sawtooth(*minM, *maxM, *period, *length)
+		if err == nil {
+			p, err = profile.Squarize(raw)
+		}
+	case "walk":
+		var raw []int64
+		raw, err = profile.RandomWalk(rng, (*minM+*maxM)/2, *minM, *maxM, *step, *length)
+		if err == nil {
+			p, err = profile.Squarize(raw)
+		}
+	case "constant":
+		var raw []int64
+		raw, err = profile.Constant(*maxM, *length)
+		if err == nil {
+			p, err = profile.Squarize(raw)
+		}
+	default:
+		return fmt.Errorf("unknown profile type %q", *typ)
+	}
+	if err != nil {
+		return err
+	}
+	if p.Len() > *limit {
+		return fmt.Errorf("profile has %d boxes; raise -limit to print it", p.Len())
+	}
+
+	fmt.Fprintf(os.Stderr, "%s  histogram=%v\n", p, compactHistogram(p))
+	if *render {
+		return renderSkyline(p, 100, 20)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for i := 0; i < p.Len(); i++ {
+		fmt.Fprintf(w, "%d\t%d\n", i, p.Box(i))
+	}
+	return nil
+}
+
+func compactHistogram(p *profile.SquareProfile) string {
+	h := p.SizeHistogram()
+	sizes := make([]int64, 0, len(h))
+	for s := range h {
+		sizes = append(sizes, s)
+	}
+	for i := 0; i < len(sizes); i++ {
+		for j := i + 1; j < len(sizes); j++ {
+			if sizes[j] < sizes[i] {
+				sizes[i], sizes[j] = sizes[j], sizes[i]
+			}
+		}
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, s := range sizes {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%d:%d", s, h[s])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// renderSkyline draws the profile as an ASCII step function: time on the
+// x-axis (compressed into cols columns), box height on the y-axis.
+func renderSkyline(p *profile.SquareProfile, cols, rows int) error {
+	total := p.Duration()
+	if total == 0 {
+		return fmt.Errorf("empty profile")
+	}
+	maxBox := p.MaxBox()
+	// Height of the profile at each of the cols sample points.
+	heights := make([]int64, cols)
+	var t int64
+	bi := 0
+	var consumed int64
+	for c := 0; c < cols; c++ {
+		target := total * int64(c) / int64(cols)
+		for bi < p.Len() && consumed+p.Box(bi) <= target {
+			consumed += p.Box(bi)
+			bi++
+		}
+		if bi < p.Len() {
+			heights[c] = p.Box(bi)
+		}
+		_ = t
+	}
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	for r := rows; r >= 1; r-- {
+		threshold := maxBox * int64(r) / int64(rows)
+		for c := 0; c < cols; c++ {
+			if heights[c] >= threshold {
+				out.WriteByte('#')
+			} else {
+				out.WriteByte(' ')
+			}
+		}
+		out.WriteByte('\n')
+	}
+	fmt.Fprintf(out, "%s\n", strings.Repeat("-", cols))
+	fmt.Fprintf(out, "duration %d I/Os, max box %d, %d boxes\n", total, maxBox, p.Len())
+	return nil
+}

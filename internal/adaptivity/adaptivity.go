@@ -1,0 +1,277 @@
+// Package adaptivity measures cache-adaptivity: it runs (a,b,c)-regular
+// executions against memory profiles and evaluates the paper's efficiency
+// criterion.
+//
+// An execution consuming squares (□_1, ..., □_j) on a problem of size n is
+// efficiently cache-adaptive when (Equation 2)
+//
+//	Σ_{i=1..j} min(n, |□_i|)^{log_b a}  <=  O(n^{log_b a}),
+//
+// so the package's central quantity is the gap
+//
+//	gap = Σ min(n, |□_i|)^{log_b a} / n^{log_b a},
+//
+// which is Θ(1) for adaptive executions and Θ(log_b n) on worst-case
+// profiles (Theorem 2). The package also estimates the stopping times f(n)
+// and f'(n) of Section 4 and checks Lemma 3 and Equations 6–8 empirically.
+//
+// Two execution backends are provided: the symbolic executor (faithful to
+// the paper's simplified caching model, which the paper states for c = 1)
+// and the trace/paging backend (ground truth for any c, including the
+// adaptive c < 1 algorithms such as MM-InPlace whose boxes genuinely carry
+// leftover budget past scans).
+package adaptivity
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/paging"
+	"repro/internal/profile"
+	"repro/internal/regular"
+	"repro/internal/xrand"
+)
+
+// RunResult summarises one execution against a box stream.
+type RunResult struct {
+	Spec             regular.Spec
+	N                int64   // problem size in blocks
+	Boxes            int64   // boxes consumed until completion
+	BoundedPotential float64 // Σ min(n, |□|)^{log_b a}
+	Progress         int64   // base cases completed (== total leaves on success)
+	BoxSizeSum       int64   // Σ |□| over consumed boxes — the I/O-time the profile granted
+}
+
+// Gap returns BoundedPotential / n^{log_b a} — 1 means every box made full
+// use of its potential; log_b n + 1 is the worst case.
+func (r RunResult) Gap() float64 {
+	return r.BoundedPotential / r.Spec.Potential(r.N)
+}
+
+// OpGap returns the operation-based efficiency reading (footnote 4 of the
+// paper): total box I/O-time granted divided by the algorithm's serial I/O
+// cost T(n). For a < b, c = 1 algorithms — which run in linear time
+// independent of cache size — this is the quantity that is Θ(1) and makes
+// them "trivially cache-adaptive"; the base-case potential reading does
+// not apply to them because scans, not base cases, carry their work.
+func (r RunResult) OpGap() float64 {
+	return float64(r.BoxSizeSum) / r.Spec.IOCost(r.N)
+}
+
+// MeasureSymbolic runs the symbolic executor for spec on a problem of n
+// blocks against boxes from src, up to maxBoxes (0 = unbounded). The
+// symbolic backend implements the paper's simplified caching model, which
+// is exact for c = 1; for c < 1 it is pessimistic (boxes are not credited
+// with budget left over after short scans) — use MeasureTrace for faithful
+// c < 1 numbers.
+func MeasureSymbolic(spec regular.Spec, n int64, src profile.Source, maxBoxes int64) (RunResult, error) {
+	e, err := regular.NewExec(spec, n)
+	if err != nil {
+		return RunResult{}, err
+	}
+	res := RunResult{Spec: spec, N: n}
+	err = e.Run(src.Next, maxBoxes, func(box, prog int64) {
+		res.Boxes++
+		res.BoundedPotential += spec.BoundedPotential(box, n)
+		res.Progress += prog
+		res.BoxSizeSum += box
+	})
+	if err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// MeasureTrace replays the canonical synthetic trace for spec on n blocks
+// through the square-semantics cache against boxes from src. This is the
+// ground-truth backend; it is exact for every c but costs Θ(T(n)) time and
+// memory for the trace.
+func MeasureTrace(spec regular.Spec, n int64, src profile.Source, maxBoxes int64) (RunResult, error) {
+	tr, err := regular.SyntheticTrace(spec, n)
+	if err != nil {
+		return RunResult{}, err
+	}
+	stats, err := paging.SquareRun(tr, src, maxBoxes)
+	if err != nil {
+		return RunResult{}, err
+	}
+	res := RunResult{Spec: spec, N: n, Boxes: int64(len(stats))}
+	for _, s := range stats {
+		res.BoundedPotential += spec.BoundedPotential(s.Size, n)
+		res.Progress += s.Leaves
+		res.BoxSizeSum += s.Size
+	}
+	return res, nil
+}
+
+// GapOnProfile runs spec on n blocks against prof (cycled if the algorithm
+// needs more boxes than the profile holds) with the symbolic backend and
+// returns the run.
+func GapOnProfile(spec regular.Spec, n int64, prof *profile.SquareProfile) (RunResult, error) {
+	src, err := profile.NewSliceSource(prof)
+	if err != nil {
+		return RunResult{}, err
+	}
+	// The largest sound bound on boxes: every box completes at least one
+	// access of the T(n) total, so T(n)+1 boxes always suffice.
+	maxBoxes := int64(spec.IOCost(n)) + 1
+	return MeasureSymbolic(spec, n, src, maxBoxes)
+}
+
+// GapOnDist runs `trials` independent executions of spec on n blocks with
+// i.i.d. box sizes from dist (Theorem 1's setting) and returns the per-trial
+// gaps. Each trial derives its own generator from seed, so the result is
+// deterministic in (seed, trials) even though trials run on all cores.
+func GapOnDist(spec regular.Spec, n int64, dist xrand.Dist, seed uint64, trials int) ([]float64, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("adaptivity: trials = %d < 1", trials)
+	}
+	// Derive the per-trial generators serially (the derivation order is
+	// part of the contract), then run the trials in parallel.
+	root := xrand.New(seed)
+	rngs := make([]*xrand.Source, trials)
+	for t := range rngs {
+		rngs[t] = root.Split()
+	}
+	gaps := make([]float64, trials)
+	err := parallelTrials(trials, func(t int) error {
+		rng := rngs[t]
+		src := profile.FuncSource(func() int64 { return dist.Sample(rng) })
+		res, err := MeasureSymbolic(spec, n, src, 0)
+		if err != nil {
+			return err
+		}
+		gaps[t] = res.Gap()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return gaps, nil
+}
+
+// parallelTrials runs fn(0..trials-1) on up to GOMAXPROCS goroutines and
+// returns the lowest-indexed error. Each index is touched exactly once, so
+// writers into index-t slots need no locking.
+func parallelTrials(trials int, fn func(t int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > trials {
+		workers = trials
+	}
+	if workers <= 1 {
+		for t := 0; t < trials; t++ {
+			if err := fn(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, trials)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= trials {
+					return
+				}
+				errs[t] = fn(t)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StoppingTimes holds Monte-Carlo estimates of the paper's f(n) (expected
+// boxes to complete a problem of size n) and f'(n) (same, excluding the
+// final scan) under a box-size distribution.
+type StoppingTimes struct {
+	N        int64
+	F        float64 // mean boxes to complete
+	FPrime   float64 // mean boxes to complete all subproblems (no root scan)
+	FSE      float64 // standard error of F
+	FPrimeSE float64
+	Trials   int
+}
+
+// EstimateStoppingTimes Monte-Carlo estimates f(n) and f'(n) for spec under
+// dist. The f and f' estimates use common random numbers (the same box
+// stream per trial), which sharpens the f/f' ratio estimate used by the
+// Equation 8 check.
+func EstimateStoppingTimes(spec regular.Spec, n int64, dist xrand.Dist, seed uint64, trials int) (StoppingTimes, error) {
+	if trials < 1 {
+		return StoppingTimes{}, fmt.Errorf("adaptivity: trials = %d < 1", trials)
+	}
+	root := xrand.New(seed)
+	trialSeeds := make([]uint64, trials)
+	for t := range trialSeeds {
+		trialSeeds[t] = root.Uint64()
+	}
+	fs := make([]float64, trials)
+	fps := make([]float64, trials)
+	err := parallelTrials(trials, func(t int) error {
+		trialSeed := trialSeeds[t]
+
+		rng1 := xrand.New(trialSeed)
+		e, err := regular.NewExec(spec, n)
+		if err != nil {
+			return err
+		}
+		for !e.Done() {
+			e.Step(dist.Sample(rng1))
+		}
+		fs[t] = float64(e.BoxesUsed())
+
+		rng2 := xrand.New(trialSeed)
+		ep, err := regular.NewExec(spec, n)
+		if err != nil {
+			return err
+		}
+		if err := ep.SetSkipRootScan(true); err != nil {
+			return err
+		}
+		for !ep.Done() {
+			ep.Step(dist.Sample(rng2))
+		}
+		fps[t] = float64(ep.BoxesUsed())
+		return nil
+	})
+	if err != nil {
+		return StoppingTimes{}, err
+	}
+	var sumF, sumF2, sumFp, sumFp2 float64
+	for t := 0; t < trials; t++ {
+		sumF += fs[t]
+		sumF2 += fs[t] * fs[t]
+		sumFp += fps[t]
+		sumFp2 += fps[t] * fps[t]
+	}
+	tn := float64(trials)
+	st := StoppingTimes{N: n, Trials: trials, F: sumF / tn, FPrime: sumFp / tn}
+	if trials > 1 {
+		st.FSE = se(sumF, sumF2, tn)
+		st.FPrimeSE = se(sumFp, sumFp2, tn)
+	}
+	return st, nil
+}
+
+func se(sum, sumSq, n float64) float64 {
+	mean := sum / n
+	variance := (sumSq - n*mean*mean) / (n - 1)
+	if variance < 0 {
+		variance = 0
+	}
+	return math.Sqrt(variance / n)
+}

@@ -1,0 +1,403 @@
+package adaptivity
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/profile"
+	"repro/internal/regular"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+func TestGapOnWorstCaseProfileIsExactlyLog(t *testing.T) {
+	// On M_{a,b}(n) the gap is exactly log_b n + 1 (Theorem 2's log gap,
+	// with the profile's exact potential accounting).
+	for _, tc := range []struct{ a, b int64 }{{8, 4}, {2, 2}, {4, 2}} {
+		spec := regular.MustSpec(tc.a, tc.b, 1)
+		for k := 1; k <= 5; k++ {
+			n := profile.Pow(tc.b, k)
+			wc, err := profile.WorstCase(tc.a, tc.b, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := GapOnProfile(spec, n, wc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := res.Gap(), float64(k+1); math.Abs(got-want) > 1e-9 {
+				t.Errorf("%v n=%d: gap = %g, want %g", spec, n, got, want)
+			}
+			if res.Boxes != int64(wc.Len()) {
+				t.Errorf("%v n=%d: used %d boxes, profile has %d", spec, n, res.Boxes, wc.Len())
+			}
+			if float64(res.Progress) != spec.LeafCount(n) {
+				t.Errorf("%v n=%d: progress %d", spec, n, res.Progress)
+			}
+		}
+	}
+}
+
+func TestGapOnConstantFullBoxes(t *testing.T) {
+	// Boxes of exactly size n: gap 1 — perfectly adaptive execution.
+	spec := regular.MMScanSpec
+	n := int64(256)
+	res, err := GapOnProfile(spec, n, profile.MustNew([]int64{n}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Gap()-1) > 1e-9 {
+		t.Errorf("gap = %g, want 1", res.Gap())
+	}
+}
+
+func TestMeasureTraceMatchesSymbolicOnWorstCase(t *testing.T) {
+	spec := regular.MMScanSpec
+	n := int64(64)
+	wc, err := profile.WorstCase(8, 4, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym, err := GapOnProfile(spec, n, wc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := profile.NewSliceSource(wc)
+	tr, err := MeasureTrace(spec, n, src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sym.Boxes != tr.Boxes {
+		t.Errorf("boxes: symbolic %d, trace %d", sym.Boxes, tr.Boxes)
+	}
+	if sym.Progress != tr.Progress {
+		t.Errorf("progress: symbolic %d, trace %d", sym.Progress, tr.Progress)
+	}
+	if math.Abs(sym.Gap()-tr.Gap()) > 1e-9 {
+		t.Errorf("gap: symbolic %g, trace %g", sym.Gap(), tr.Gap())
+	}
+}
+
+func TestGapOnDistBoundedAndFlat(t *testing.T) {
+	// Theorem 1: i.i.d. boxes from any Σ ⇒ gap O(1) in expectation. Check
+	// the measured mean gap stays in a modest band and does not grow with n.
+	spec := regular.MMScanSpec
+	dist, err := xrand.NewUniform(4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measure in the asymptotic regime (the gap has a small-n transient
+	// while problems are not yet much larger than the boxes).
+	var ks, means []float64
+	for k := 4; k <= 7; k++ {
+		n := profile.Pow(4, k)
+		gaps, err := GapOnDist(spec, n, dist, 42, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := stats.Summarize(gaps)
+		if s.Mean > 12 {
+			t.Errorf("n=4^%d: mean gap %g suspiciously large", k, s.Mean)
+		}
+		ks = append(ks, float64(k))
+		means = append(means, s.Mean)
+	}
+	// The worst-case slope would be ~1 per level; adaptive-in-expectation
+	// must be far below that.
+	fit, err := stats.LinearFit(ks, means)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Beta > 0.3 {
+		t.Errorf("gap grows with slope %g per level; expected ~0 (fit %v)", fit.Beta, fit)
+	}
+}
+
+func TestGapOnDistValidation(t *testing.T) {
+	dist, _ := xrand.NewUniform(1, 4)
+	if _, err := GapOnDist(regular.MMScanSpec, 16, dist, 1, 0); err == nil {
+		t.Error("0 trials accepted")
+	}
+}
+
+func TestEstimateStoppingTimesPointMass(t *testing.T) {
+	// Boxes always exactly n: f(n) = f'(n) = 1.
+	spec := regular.MMScanSpec
+	n := int64(64)
+	dist, _ := xrand.NewUniform(n, n)
+	st, err := EstimateStoppingTimes(spec, n, dist, 7, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.F != 1 || st.FPrime != 1 {
+		t.Errorf("f = %g, f' = %g, want 1, 1", st.F, st.FPrime)
+	}
+}
+
+func TestEstimateStoppingTimesUnitBoxes(t *testing.T) {
+	// Boxes always size 1: f(n) = T(n) exactly, f'(n) = T(n) - n.
+	spec := regular.MMScanSpec
+	n := int64(64)
+	dist, _ := xrand.NewUniform(1, 1)
+	st, err := EstimateStoppingTimes(spec, n, dist, 7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := spec.IOCost(n); st.F != want {
+		t.Errorf("f = %g, want %g", st.F, want)
+	}
+	if want := spec.IOCost(n) - float64(n); st.FPrime != want {
+		t.Errorf("f' = %g, want %g", st.FPrime, want)
+	}
+}
+
+func TestEstimateStoppingTimesOrdering(t *testing.T) {
+	// f' <= f always (skipping the root scan can only help).
+	spec := regular.MMScanSpec
+	dist, _ := xrand.NewUniform(2, 100)
+	st, err := EstimateStoppingTimes(spec, 256, dist, 11, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FPrime > st.F {
+		t.Errorf("f' = %g > f = %g", st.FPrime, st.F)
+	}
+	if st.FSE <= 0 {
+		t.Error("FSE not positive with random boxes")
+	}
+}
+
+func TestCheckLemma3QEqualsP(t *testing.T) {
+	// The lemma's headline identity: q = p = Pr[|□| >= n]·f(n/b).
+	spec := regular.MMScanSpec
+	n := int64(64)
+	for _, dist := range []xrand.Dist{
+		mustUniform(t, 8, 128),
+		mustTwoPoint(t, 4, 256, 0.05),
+	} {
+		res, err := CheckLemma3(spec, n, dist, 99, 6000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.P < 0 || res.P > 1.0001 {
+			t.Errorf("%s: p = %g outside [0,1]", dist.Name(), res.P)
+		}
+		tol := 4*res.QSE + 0.02
+		if math.Abs(res.Q-res.P) > tol {
+			t.Errorf("%s: q = %g vs p = %g (tol %g)", dist.Name(), res.Q, res.P, tol)
+		}
+		// f'(n) must match the closed-form Σ (1-p)^{i-1} f(n/b) within a
+		// few percent.
+		relErr := math.Abs(res.SubBoxesMeasured-res.SubBoxesFormula) / res.SubBoxesFormula
+		if relErr > 0.08 {
+			t.Errorf("%s: f' measured %g vs formula %g (rel err %.3f)",
+				dist.Name(), res.SubBoxesMeasured, res.SubBoxesFormula, relErr)
+		}
+	}
+}
+
+func TestCheckLemma3NoBigBoxes(t *testing.T) {
+	// Distribution that can never produce a >= n box: p = q = 0 and the
+	// subproblem formula degenerates to a·f(n/b).
+	spec := regular.MMScanSpec
+	n := int64(256)
+	dist := mustUniform(t, 2, 16)
+	res, err := CheckLemma3(spec, n, dist, 5, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 0 || res.Q != 0 {
+		t.Errorf("p = %g, q = %g, want 0, 0", res.P, res.Q)
+	}
+	if want := float64(spec.A) * res.FChild; math.Abs(res.SubBoxesFormula-want) > 1e-9 {
+		t.Errorf("formula %g, want a·f(n/b) = %g", res.SubBoxesFormula, want)
+	}
+}
+
+func TestCheckLemma3Validation(t *testing.T) {
+	dist := mustUniform(t, 1, 8)
+	if _, err := CheckLemma3(regular.MMInPlaceSpec, 64, dist, 1, 10); err == nil {
+		t.Error("c != 1 accepted")
+	}
+	if _, err := CheckLemma3(regular.MMScanSpec, 3, dist, 1, 10); err == nil {
+		t.Error("n < b accepted")
+	}
+	if _, err := CheckLemma3(regular.MMScanSpec, 64, dist, 1, 1); err == nil {
+		t.Error("1 trial accepted")
+	}
+}
+
+func TestCheckRecurrence(t *testing.T) {
+	spec := regular.MMScanSpec
+	dist := mustUniform(t, 4, 64)
+	sizes := []int64{16, 64, 256, 1024, 4096}
+	points, product, err := CheckRecurrence(spec, sizes, dist, 123, 200, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(sizes) {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Equation 8: the aggregate f/f' product is O(1).
+	if product > 8 {
+		t.Errorf("Π f/f' = %g, expected bounded by a small constant", product)
+	}
+	if product < 1 {
+		t.Errorf("Π f/f' = %g < 1; f >= f' must force product >= 1", product)
+	}
+	// Equation 3's normalised stopping time f(n)·m_n/n^e must be O(1):
+	// bounded at every size, and plateauing (not growing) once n is well
+	// past the box sizes.
+	for _, pt := range points {
+		if pt.GapBound > 10 {
+			t.Errorf("n=%d: f·m_n/n^e = %g too large", pt.N, pt.GapBound)
+		}
+	}
+	last := points[len(points)-1]
+	prev := points[len(points)-2]
+	if last.GapBound > 1.4*prev.GapBound {
+		t.Errorf("normalised stopping time still growing at the top: %g -> %g", prev.GapBound, last.GapBound)
+	}
+}
+
+func TestCheckRecurrenceValidation(t *testing.T) {
+	dist := mustUniform(t, 1, 8)
+	if _, _, err := CheckRecurrence(regular.MMInPlaceSpec, []int64{16, 64}, dist, 1, 10, 4); err == nil {
+		t.Error("c != 1 accepted")
+	}
+	if _, _, err := CheckRecurrence(regular.MMScanSpec, []int64{16, 256}, dist, 1, 10, 4); err == nil {
+		t.Error("non-consecutive sizes accepted")
+	}
+	if _, _, err := CheckRecurrence(regular.MMScanSpec, []int64{48}, dist, 1, 10, 4); err == nil {
+		t.Error("non-power size accepted")
+	}
+}
+
+func mustUniform(t *testing.T, lo, hi int64) xrand.Dist {
+	t.Helper()
+	d, err := xrand.NewUniform(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func mustTwoPoint(t *testing.T, small, big int64, p float64) xrand.Dist {
+	t.Helper()
+	d, err := xrand.NewTwoPoint(small, big, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// Parallel trials must be bit-deterministic in the seed: the same call
+// twice yields identical per-trial results regardless of scheduling.
+func TestGapOnDistDeterministicUnderParallelism(t *testing.T) {
+	dist := mustUniform(t, 4, 64)
+	a, err := GapOnDist(regular.MMScanSpec, 1024, dist, 77, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GapOnDist(regular.MMScanSpec, 1024, dist, 77, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trial %d differs across runs: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEstimateStoppingTimesDeterministicUnderParallelism(t *testing.T) {
+	dist := mustUniform(t, 4, 64)
+	a, err := EstimateStoppingTimes(regular.MMScanSpec, 1024, dist, 5, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimateStoppingTimes(regular.MMScanSpec, 1024, dist, 5, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.F != b.F || a.FPrime != b.FPrime || a.FSE != b.FSE {
+		t.Fatalf("estimates differ across runs: %+v vs %+v", a, b)
+	}
+}
+
+// Force the worker-pool path (this machine may have GOMAXPROCS=1, where
+// parallelTrials degrades to the serial loop) and check error propagation
+// and index coverage.
+func TestParallelTrialsPool(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	const trials = 200
+	seen := make([]int32, trials)
+	err := parallelTrials(trials, func(i int) error {
+		atomic.AddInt32(&seen[i], 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+
+	// Errors: the lowest-indexed error must be returned.
+	wantErr := fmt.Errorf("boom-17")
+	err = parallelTrials(trials, func(i int) error {
+		if i == 17 {
+			return wantErr
+		}
+		if i == 99 {
+			return fmt.Errorf("boom-99")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "boom-17" {
+		t.Fatalf("err = %v, want boom-17", err)
+	}
+
+	// And the deterministic results must not depend on the worker count.
+	dist := mustUniform(t, 4, 64)
+	parallelGaps, err := GapOnDist(regular.MMScanSpec, 256, dist, 123, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.GOMAXPROCS(1)
+	serialGaps, err := GapOnDist(regular.MMScanSpec, 256, dist, 123, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serialGaps {
+		if serialGaps[i] != parallelGaps[i] {
+			t.Fatalf("trial %d: serial %g vs parallel %g", i, serialGaps[i], parallelGaps[i])
+		}
+	}
+}
+
+// OpGap — the footnote-4 operation reading — is exactly 1 for an a < b
+// algorithm on its worst-case profile (every granted I/O is used) and
+// bounded for a > b.
+func TestOpGap(t *testing.T) {
+	spec := regular.MustSpec(2, 4, 1)
+	n := int64(256)
+	wc, err := profile.WorstCase(2, 4, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := GapOnProfile(spec, n, wc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := res.OpGap(); math.Abs(g-1) > 0.05 {
+		t.Errorf("a<b op gap = %g, want ~1", g)
+	}
+}

@@ -1,0 +1,198 @@
+// Package core is the public face of the reproduction: it wires the
+// substrates (profiles, the symbolic executor, the paging/trace backend,
+// smoothing operators, real algorithms) into the eleven named experiments
+// E1–E11 that regenerate the paper's figure and theorem-level claims, and
+// formats their results as tables.
+//
+// Every experiment is deterministic in (Config.Seed, Config.Trials,
+// Config.MaxK); EXPERIMENTS.md records the expected shapes.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Config parameterises an experiment run.
+type Config struct {
+	// Seed drives all randomness; same seed, same tables.
+	Seed uint64
+	// Trials is the Monte-Carlo repetition count where sampling is needed.
+	Trials int
+	// MaxK is the largest problem-size exponent: problems run up to
+	// n = b^MaxK (4^MaxK for the matrix-shaped experiments).
+	MaxK int
+}
+
+// DefaultConfig returns the configuration the committed EXPERIMENTS.md
+// numbers were produced with.
+func DefaultConfig() Config {
+	return Config{Seed: 20200715, Trials: 20, MaxK: 7}
+}
+
+func (c Config) validate() error {
+	if c.Trials < 1 {
+		return fmt.Errorf("core: trials %d < 1", c.Trials)
+	}
+	if c.MaxK < 3 {
+		return fmt.Errorf("core: maxK %d < 3 (experiments need at least a few sizes)", c.MaxK)
+	}
+	if c.MaxK > 9 {
+		return fmt.Errorf("core: maxK %d > 9 (worst-case profiles above 4^9 do not fit in memory)", c.MaxK)
+	}
+	return nil
+}
+
+// Table is a formatted experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Note   string // provenance, fitted slopes, pass/fail summary
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells (converted with %v).
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&sb, "note: %s\n", t.Note)
+	}
+	return sb.String()
+}
+
+// FormatTSV renders the table as tab-separated values (header row first,
+// note as a trailing #-comment) for downstream plotting.
+func (t *Table) FormatTSV() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# %s — %s\n", t.ID, t.Title)
+	sb.WriteString(strings.Join(t.Header, "\t"))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		sb.WriteString(strings.Join(row, "\t"))
+		sb.WriteByte('\n')
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&sb, "# note: %s\n", t.Note)
+	}
+	return sb.String()
+}
+
+// Experiment is a runnable reproduction unit.
+type Experiment struct {
+	ID      string
+	Source  string // the paper element it reproduces
+	Summary string
+	Run     func(Config) (*Table, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("core: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Experiments lists the registered experiments in ID order.
+func Experiments() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// Numeric-aware: E2 before E10.
+		return experimentOrder(out[i].ID) < experimentOrder(out[j].ID)
+	})
+	return out
+}
+
+func experimentOrder(id string) int {
+	var n int
+	if strings.HasPrefix(id, "A") {
+		fmt.Sscanf(id, "A%d", &n)
+		return 100 + n // ablations sort after the paper experiments
+	}
+	fmt.Sscanf(id, "E%d", &n)
+	return n
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, cfg Config) (*Table, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	e, ok := registry[id]
+	if !ok {
+		ids := make([]string, 0, len(registry))
+		for _, ex := range Experiments() {
+			ids = append(ids, ex.ID)
+		}
+		return nil, fmt.Errorf("core: unknown experiment %q (have %s)", id, strings.Join(ids, ", "))
+	}
+	return e.Run(cfg)
+}
+
+// RunAll executes every experiment in order.
+func RunAll(cfg Config) ([]*Table, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	var out []*Table
+	for _, e := range Experiments() {
+		t, err := e.Run(cfg)
+		if err != nil {
+			return out, fmt.Errorf("core: %s: %w", e.ID, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// testConfig keeps experiment tests fast; the committed EXPERIMENTS.md
+// numbers use DefaultConfig.
+func testConfig() Config {
+	return Config{Seed: 7, Trials: 4, MaxK: 4}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 18 {
+		t.Fatalf("registered %d experiments, want 18 (E1..E11, A1..A7)", len(exps))
+	}
+	for i, e := range exps {
+		var want string
+		if i < 11 {
+			want = "E" + strconv.Itoa(i+1)
+		} else {
+			want = "A" + strconv.Itoa(i-10)
+		}
+		if e.ID != want {
+			t.Errorf("experiment %d has ID %s, want %s", i, e.ID, want)
+		}
+		if e.Source == "" || e.Summary == "" || e.Run == nil {
+			t.Errorf("%s: incomplete registration", e.ID)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("E99", testConfig()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := testConfig()
+	bad.Trials = 0
+	if _, err := Run("E1", bad); err == nil {
+		t.Error("0 trials accepted")
+	}
+	bad = testConfig()
+	bad.MaxK = 2
+	if _, err := Run("E1", bad); err == nil {
+		t.Error("tiny MaxK accepted")
+	}
+	bad = testConfig()
+	bad.MaxK = 15
+	if _, err := Run("E1", bad); err == nil {
+		t.Error("huge MaxK accepted")
+	}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	tables, err := RunAll(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 18 {
+		t.Fatalf("got %d tables", len(tables))
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) == 0 {
+			t.Errorf("%s produced no rows", tb.ID)
+		}
+		if len(tb.Header) == 0 {
+			t.Errorf("%s has no header", tb.ID)
+		}
+		for _, row := range tb.Rows {
+			if len(row) != len(tb.Header) {
+				t.Errorf("%s: row width %d != header width %d", tb.ID, len(row), len(tb.Header))
+			}
+		}
+		out := tb.Format()
+		if !strings.Contains(out, tb.ID) || !strings.Contains(out, tb.Header[0]) {
+			t.Errorf("%s: Format output missing pieces", tb.ID)
+		}
+	}
+}
+
+func TestE1ExactLogFactor(t *testing.T) {
+	tb, err := Run("E1", testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column 5 (pot/n^1.5) must equal column 6 (expected k+1).
+	for _, row := range tb.Rows {
+		got, err := strconv.ParseFloat(row[5], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := strconv.ParseFloat(row[6], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("k=%s: pot ratio %g != expected %g", row[0], got, want)
+		}
+	}
+}
+
+func TestE2DichotomyInNote(t *testing.T) {
+	tb, err := Run("E2", testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every family's measured class must match the theorem's.
+	for _, clause := range strings.Split(tb.Note, " | ") {
+		if !strings.Contains(clause, "->") {
+			continue
+		}
+		parts := strings.SplitN(clause, "->", 2)
+		tail := parts[1] // " Θ(log n) (theorem: Θ(log n))"
+		var measured, expected string
+		if i := strings.Index(tail, "(theorem:"); i >= 0 {
+			measured = strings.TrimSpace(tail[:i])
+			expected = strings.TrimSpace(strings.TrimSuffix(tail[i+len("(theorem:"):], ")"))
+		}
+		if measured == "" || expected == "" {
+			t.Fatalf("unparseable note clause: %q", clause)
+		}
+		if measured != expected {
+			t.Errorf("dichotomy mismatch: %q", clause)
+		}
+	}
+}
+
+func TestE8AlignedGapIsExact(t *testing.T) {
+	tb, err := Run("E8", testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		aligned, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if aligned != full {
+			t.Errorf("k=%s: aligned gap %g != full gap %g", row[0], aligned, full)
+		}
+	}
+}
+
+func TestE9ScanAlwaysOne(t *testing.T) {
+	tb, err := Run("E9", testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	for _, row := range tb.Rows {
+		if row[4] != "1" {
+			t.Errorf("dim=%s: MM-Scan completed %s multiplies, want 1", row[0], row[4])
+		}
+		inp, err := strconv.Atoi(row[5])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inp < prev {
+			t.Errorf("dim=%s: MM-InPlace count %d decreased from %d", row[0], inp, prev)
+		}
+		prev = inp
+	}
+}
+
+func TestE10NoViolations(t *testing.T) {
+	tb, err := Run("E10", testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows[0][1] != "0" {
+		t.Errorf("No-Catch-up violations: %s", tb.Rows[0][1])
+	}
+}
+
+func TestTableFormatAlignment(t *testing.T) {
+	tb := &Table{ID: "X", Title: "t", Header: []string{"a", "bbbb"}}
+	tb.AddRow("long-cell", 1)
+	out := tb.Format()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("format too short: %q", out)
+	}
+	// Header and row lines must be aligned to the same width per column.
+	if len(lines[1]) < len("long-cell") {
+		t.Error("separator shorter than widest cell")
+	}
+}
+
+func TestFormatTSV(t *testing.T) {
+	tb := &Table{ID: "X", Title: "demo", Header: []string{"a", "b"}, Note: "hello"}
+	tb.AddRow(1, 2.5)
+	out := tb.FormatTSV()
+	if !strings.Contains(out, "a\tb\n") || !strings.Contains(out, "1\t2.500\n") {
+		t.Errorf("tsv output wrong: %q", out)
+	}
+	if !strings.Contains(out, "# note: hello") {
+		t.Errorf("note missing: %q", out)
+	}
+}
+
+func TestA3ThresholdSharp(t *testing.T) {
+	tb, err := Run("A3", testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gap at the largest size per c: must be < 2.5 for c < 1 and exactly
+	// k+1 at c = 1.
+	byC := map[string][]float64{}
+	var order []string
+	for _, row := range tb.Rows {
+		c := row[0]
+		if _, seen := byC[c]; !seen {
+			order = append(order, c)
+		}
+		g, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byC[c] = append(byC[c], g)
+	}
+	for _, c := range order {
+		gaps := byC[c]
+		last := gaps[len(gaps)-1]
+		if c == "1.00" {
+			if last < 4 {
+				t.Errorf("c=1: top gap %g, want the log gap", last)
+			}
+		} else if last > 2.5 {
+			t.Errorf("c=%s: top gap %g, want < 2.5", c, last)
+		}
+	}
+}
+
+func TestA6SpreadSlopeMatchesPrediction(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxK = 6
+	tb, err := Run("A6", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tailored-adversary column: consecutive differences must be near
+	// a^{1-log_b a} = 0.3536 for (8,4,1).
+	var prev float64
+	for i, row := range tb.Rows {
+		v, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 {
+			d := v - prev
+			if d < 0.3 || d > 0.41 {
+				t.Errorf("row %d: tailored-gap increment %g, want ~0.354", i, d)
+			}
+		}
+		prev = v
+	}
+}
+
+func TestA5BoundarySlopesNearWorstCase(t *testing.T) {
+	tb, err := Run("A5", testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The (2,2,1) iid gaps must grow by roughly 1 per level across the
+	// sweep (worst-case-like), unlike E3's flat curves.
+	var first, last float64
+	var firstK, lastK float64
+	count := 0
+	for _, row := range tb.Rows {
+		if row[0] != "(2,2,1)-regular" {
+			continue
+		}
+		k, err1 := strconv.ParseFloat(row[1], 64)
+		g, err2 := strconv.ParseFloat(row[3], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if count == 0 {
+			first, firstK = g, k
+		}
+		last, lastK = g, k
+		count++
+	}
+	if count < 3 {
+		t.Fatalf("only %d (2,2,1) rows", count)
+	}
+	slope := (last - first) / (lastK - firstK)
+	if slope < 0.6 {
+		t.Errorf("a=b iid slope %g, want near-worst-case (>= 0.6)", slope)
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/memsort"
+	"repro/internal/profile"
+	"repro/internal/sharedcache"
+	"repro/internal/smoothing"
+	"repro/internal/xrand"
+)
+
+// A7 quantifies the paper's motivating trade-off from the other side:
+// Barve–Vitter-style *explicit* memory adaptation — the approach whose
+// complexity the paper's cache-oblivious programme is designed to avoid —
+// versus the oblivious two-way merge sort of footnote 3. Under the
+// standard entropy accounting (an I/O in a fan-in-f merge does log₂f units
+// of the n·log₂n total), the explicit sorter's advantage is exactly the
+// Θ(log M̄) DAM-level factor, and it persists on every profile family —
+// including the shuffled ones that rescue the a > b algorithms in E3.
+
+func init() {
+	register(Experiment{
+		ID:      "A7",
+		Source:  "Related work (Barve–Vitter) + footnote 3",
+		Summary: "Explicitly memory-adaptive sorting beats oblivious two-way merge sort by exactly the Θ(log M) DAM factor, on every profile family",
+		Run:     runA7,
+	})
+}
+
+func runA7(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "A7",
+		Title:  "Memory-adaptive vs oblivious sorting (entropy accounting, n = 2^16 blocks)",
+		Header: []string{"profile", "mean box", "adaptive IOs", "oblivious IOs", "speedup", "log2(mean box)"},
+	}
+	n := int64(1 << 16)
+	rng := xrand.New(cfg.Seed ^ 0xa7)
+
+	profiles := make(map[string]*profile.SquareProfile)
+	var order []string
+	add := func(name string, p *profile.SquareProfile) {
+		profiles[name] = p
+		order = append(order, name)
+	}
+
+	add("constant[64]", profile.MustNew([]int64{64}))
+	add("constant[4096]", profile.MustNew([]int64{4096}))
+
+	wc, err := profile.WorstCase(8, 4, profile.Pow(4, 6))
+	if err != nil {
+		return nil, err
+	}
+	add("M_{8,4}(4^6)", wc)
+	add("shuffle(M_{8,4})", smoothing.Shuffle(wc, rng))
+
+	// Winner-take-all contention, as the introduction describes.
+	allocs, err := sharedcache.Simulate(sharedcache.Config{
+		CacheBlocks: 4096,
+		Horizon:     1 << 17,
+		Policy:      sharedcache.WinnerTakeAll,
+		FlushPeriod: 4096,
+		Processes: []sharedcache.Process{
+			{Name: "sorter", Arrive: 0, Depart: 1 << 17, Demand: 2048},
+			{Name: "rival", Arrive: 0, Depart: 1 << 17, Demand: 2048},
+		},
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+	saw, err := profile.Squarize(allocs[0].M)
+	if err != nil {
+		return nil, err
+	}
+	add("winner-take-all (sharedcache)", saw)
+
+	for _, name := range order {
+		p := profiles[name]
+		adaptive, oblivious, ratio, err := memsort.Speedup(n, p)
+		if err != nil {
+			return nil, err
+		}
+		// Duration-weighted mean box size (the I/O-time average the sorter
+		// actually experiences).
+		var dur, weighted float64
+		for _, b := range p.Boxes() {
+			dur += float64(b)
+			weighted += float64(b) * float64(b)
+		}
+		meanBox := weighted / dur
+		t.AddRow(name, meanBox, adaptive.IOs, oblivious.IOs, ratio, math.Log2(meanBox))
+	}
+	t.Note = "the speedup is the Θ(log M) DAM obstruction of footnote 3, realised: exactly log2(box) on constant profiles, and the duration-weighted log-average in general (the skewed M_{8,4} rows sit below log2 of the mean because most of their I/O-time is in size-1 boxes... precisely: the speedup equals the duration-weighted mean of log2(box)). It is untouched by shuffling (compare the two M_{8,4} rows): profile smoothing rescues a > b algorithms (E3) but cannot buy back the fan-in an a = b algorithm never uses; only explicit adaptation (with its programming burden — the paper's motivation) collects it."
+	return t, nil
+}

@@ -1,0 +1,315 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/adaptivity"
+	"repro/internal/profile"
+	"repro/internal/regular"
+	"repro/internal/smoothing"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// This file implements the smoothing experiments: E3 (Theorem 1 — i.i.d.
+// box sizes close the gap) and E6–E8 (the three weaker smoothings that
+// fail).
+
+func init() {
+	register(Experiment{
+		ID:      "E3",
+		Source:  "Theorem 1 / Theorem 3",
+		Summary: "i.i.d. box sizes from arbitrary distributions (and literal shuffles of the adversary's boxes) make (8,4,1) cache-adaptive in expectation",
+		Run:     runE3,
+	})
+	register(Experiment{
+		ID:      "E6",
+		Source:  "Robustness: box-size perturbations",
+		Summary: "Multiplying each worst-case box by an i.i.d. factor in [1,t] leaves the profile worst-case in expectation",
+		Run:     runE6,
+	})
+	register(Experiment{
+		ID:      "E7",
+		Source:  "Robustness: start-time perturbations",
+		Summary: "A random cyclic start time leaves the expected gap logarithmic",
+		Run:     runE7,
+	})
+	register(Experiment{
+		ID:      "E8",
+		Source:  "Robustness: box-order perturbations",
+		Summary: "Placing each level's box after a random recursive instance remains worst-case (with prob. 1 for the aligned (a,b,1) witness)",
+		Run:     runE8,
+	})
+}
+
+// gapCurve collects mean gaps for k = kMin..kMax and fits the slope.
+type gapCurve struct {
+	ks    []float64
+	means []float64
+	cis   []float64
+}
+
+func (g *gapCurve) add(k int, gaps []float64) {
+	s := stats.Summarize(gaps)
+	g.ks = append(g.ks, float64(k))
+	g.means = append(g.means, s.Mean)
+	g.cis = append(g.cis, s.CI95())
+}
+
+func (g *gapCurve) slope() (stats.Fit, error) { return stats.LinearFit(g.ks, g.means) }
+
+func runE3(cfg Config) (*Table, error) {
+	spec := regular.MMScanSpec
+	nMax := profile.Pow(4, cfg.MaxK)
+
+	uni, err := xrand.NewUniform(4, 64)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := xrand.NewPowerLaw(4, cfg.MaxK, 0.75)
+	if err != nil {
+		return nil, err
+	}
+	tp, err := xrand.NewTwoPoint(4, nMax, 0.01)
+	if err != nil {
+		return nil, err
+	}
+	wcd, err := xrand.WorstCaseBoxDist(8, 4, nMax)
+	if err != nil {
+		return nil, err
+	}
+	dists := []xrand.Dist{uni, pl, tp, wcd}
+
+	t := &Table{
+		ID:     "E3",
+		Title:  "Theorem 1: expected gap under i.i.d. box sizes (and literal shuffles)",
+		Header: []string{"distribution", "k", "n", "mean gap", "ci95", "worst-case gap"},
+	}
+	var notes []string
+	rng := xrand.New(cfg.Seed)
+	for _, d := range dists {
+		var curve gapCurve
+		for k := 3; k <= cfg.MaxK; k++ {
+			n := profile.Pow(4, k)
+			gaps, err := adaptivity.GapOnDist(spec, n, d, rng.Uint64(), cfg.Trials)
+			if err != nil {
+				return nil, err
+			}
+			curve.add(k, gaps)
+			s := stats.Summarize(gaps)
+			t.AddRow(d.Name(), k, n, s.Mean, s.CI95(), fmt.Sprintf("%d", k+1))
+		}
+		fit, err := curve.slope()
+		if err != nil {
+			return nil, err
+		}
+		notes = append(notes, fmt.Sprintf("%s: slope %+.3f/level (worst case: +1.0)", d.Name(), fit.Beta))
+	}
+
+	// Literal shuffle of the adversary's own boxes.
+	var curve gapCurve
+	for k := 3; k <= cfg.MaxK; k++ {
+		n := profile.Pow(4, k)
+		wc, err := profile.WorstCase(8, 4, n)
+		if err != nil {
+			return nil, err
+		}
+		var gaps []float64
+		trials := cfg.Trials
+		if k >= 7 && trials > 8 {
+			trials = 8 // shuffling multi-million-box profiles is memory-heavy
+		}
+		for trial := 0; trial < trials; trial++ {
+			sh := smoothing.Shuffle(wc, rng)
+			res, err := adaptivity.GapOnProfile(spec, n, sh)
+			if err != nil {
+				return nil, err
+			}
+			gaps = append(gaps, res.Gap())
+		}
+		curve.add(k, gaps)
+		s := stats.Summarize(gaps)
+		t.AddRow("shuffle(M_{8,4})", k, n, s.Mean, s.CI95(), fmt.Sprintf("%d", k+1))
+	}
+	fit, err := curve.slope()
+	if err != nil {
+		return nil, err
+	}
+	notes = append(notes, fmt.Sprintf("shuffle(M_{8,4}): slope %+.3f/level", fit.Beta))
+	t.Note = joinNotes(notes)
+	return t, nil
+}
+
+func runE6(cfg Config) (*Table, error) {
+	spec := regular.MMScanSpec
+	t := &Table{
+		ID:     "E6",
+		Title:  "Box-size perturbation |□|·X, X ~ U{1..t}: gap keeps growing",
+		Header: []string{"t", "k", "n", "mean gap", "ci95", "t<=sqrt(n)"},
+	}
+	rng := xrand.New(cfg.Seed ^ 0xe6)
+	var notes []string
+	for _, tf := range []int64{2, 4, 16} {
+		// The paper's condition is t <= √n, i.e. k >= 2·log_4(t); only
+		// those sizes enter the slope fit.
+		minValidK := 0
+		for p := int64(1); p < tf; p *= 2 {
+			minValidK++
+		}
+		var curve gapCurve
+		for k := 3; k <= cfg.MaxK; k++ {
+			n := profile.Pow(4, k)
+			wc, err := profile.WorstCase(8, 4, n)
+			if err != nil {
+				return nil, err
+			}
+			var gaps []float64
+			trials := cfg.Trials
+			if k >= 7 && trials > 8 {
+				trials = 8
+			}
+			for trial := 0; trial < trials; trial++ {
+				pp, err := smoothing.PerturbSizes(wc, rng, tf)
+				if err != nil {
+					return nil, err
+				}
+				res, err := adaptivity.GapOnProfile(spec, n, pp)
+				if err != nil {
+					return nil, err
+				}
+				gaps = append(gaps, res.Gap())
+			}
+			if k >= minValidK {
+				curve.add(k, gaps)
+			}
+			s := stats.Summarize(gaps)
+			valid := "yes"
+			if k < minValidK {
+				valid = "no (t>√n)"
+			}
+			t.AddRow(tf, k, n, s.Mean, s.CI95(), valid)
+		}
+		if len(curve.ks) < 2 {
+			notes = append(notes, fmt.Sprintf("t=%d: too few t<=√n sizes at this MaxK for a slope fit", tf))
+			continue
+		}
+		fit, err := curve.slope()
+		if err != nil {
+			return nil, err
+		}
+		notes = append(notes, fmt.Sprintf("t=%d: slope %+.3f/level over the t<=√n sizes (worst case: +1.0; any persistent positive slope = still worst-case in expectation)", tf, fit.Beta))
+	}
+	t.Note = joinNotes(notes)
+	return t, nil
+}
+
+func runE7(cfg Config) (*Table, error) {
+	spec := regular.MMScanSpec
+	t := &Table{
+		ID:     "E7",
+		Title:  "Start-time perturbation (random cyclic shift): expected gap stays logarithmic",
+		Header: []string{"k", "n", "mean gap", "ci95", "min", "max", "worst-case gap"},
+	}
+	rng := xrand.New(cfg.Seed ^ 0xe7)
+	var curve gapCurve
+	for k := 3; k <= cfg.MaxK; k++ {
+		n := profile.Pow(4, k)
+		wc, err := profile.WorstCase(8, 4, n)
+		if err != nil {
+			return nil, err
+		}
+		var gaps []float64
+		trials := cfg.Trials
+		if k >= 7 && trials > 8 {
+			trials = 8
+		}
+		for trial := 0; trial < trials; trial++ {
+			rp, err := smoothing.RandomRotation(wc, rng)
+			if err != nil {
+				return nil, err
+			}
+			res, err := adaptivity.GapOnProfile(spec, n, rp)
+			if err != nil {
+				return nil, err
+			}
+			gaps = append(gaps, res.Gap())
+		}
+		curve.add(k, gaps)
+		s := stats.Summarize(gaps)
+		t.AddRow(k, n, s.Mean, s.CI95(), s.Min, s.Max, fmt.Sprintf("%d", k+1))
+	}
+	fit, err := curve.slope()
+	if err != nil {
+		return nil, err
+	}
+	t.Note = fmt.Sprintf("slope %+.3f/level: the expected gap keeps growing — random start times do not smooth the adversary.", fit.Beta)
+	return t, nil
+}
+
+func runE8(cfg Config) (*Table, error) {
+	spec := regular.MMScanSpec
+	t := &Table{
+		ID:     "E8",
+		Title:  "Box-order perturbation: canonical algorithm vs the aligned (a,b,1)-regular witness",
+		Header: []string{"k", "n", "canonical mean gap", "aligned gap (every seed)", "full gap"},
+	}
+	rng := xrand.New(cfg.Seed ^ 0xe8)
+	for k := 2; k <= cfg.MaxK-1; k++ {
+		n := profile.Pow(4, k)
+
+		// Canonical end-scan algorithm on randomly order-perturbed profiles.
+		var gaps []float64
+		trials := cfg.Trials
+		if k >= 6 && trials > 8 {
+			trials = 8
+		}
+		for trial := 0; trial < trials; trial++ {
+			op, err := smoothing.OrderPerturbed(8, 4, n, rng)
+			if err != nil {
+				return nil, err
+			}
+			res, err := adaptivity.GapOnProfile(spec, n, op)
+			if err != nil {
+				return nil, err
+			}
+			gaps = append(gaps, res.Gap())
+		}
+		canonical := stats.Summarize(gaps).Mean
+
+		// Aligned witness: same profile family, scan placement matching the
+		// box placement, strict scans. Gap is k+1 exactly for every seed.
+		alignedGaps := make([]float64, 0, 4)
+		for s := uint64(0); s < 4; s++ {
+			seed := cfg.Seed + s
+			p, err := smoothing.OrderPerturbedAligned(8, 4, n, seed)
+			if err != nil {
+				return nil, err
+			}
+			e, err := regular.NewExecWithPolicy(spec, n, smoothing.AlignedScanPolicy(8, seed))
+			if err != nil {
+				return nil, err
+			}
+			if err := e.SetStrictScans(true); err != nil {
+				return nil, err
+			}
+			src, err := profile.NewSliceSource(p)
+			if err != nil {
+				return nil, err
+			}
+			var pot float64
+			for !e.Done() {
+				box := src.Next()
+				pot += spec.BoundedPotential(box, n)
+				e.Step(box)
+			}
+			alignedGaps = append(alignedGaps, pot/spec.Potential(n))
+		}
+		al := stats.Summarize(alignedGaps)
+		if al.Min != al.Max {
+			return nil, fmt.Errorf("E8: aligned gap varied across seeds at k=%d: %v", k, alignedGaps)
+		}
+		t.AddRow(k, n, canonical, al.Mean, fmt.Sprintf("%d", k+1))
+	}
+	t.Note = "the aligned witness — an (a,b,1)-regular algorithm whose scan placement matches the profile's box placement (allowed by Definition 2) — suffers the full log gap with probability one; the canonical end-scan algorithm drifts ahead and extracts more, which is why the worst-case claim is class-level."
+	return t, nil
+}

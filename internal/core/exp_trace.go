@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/matrix"
+	"repro/internal/paging"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// This file implements the trace/paging-backed experiments: E9 (MM-Scan vs
+// MM-InPlace on the worst-case profile), E10 (the No-Catch-up Lemma), and
+// E11 (DAM-model sanity: MM-Scan's I/O complexity under fixed LRU).
+
+func init() {
+	register(Experiment{
+		ID:      "E9",
+		Source:  "Section 3 (MM-Scan vs MM-InPlace)",
+		Summary: "On MM-Scan's worst-case profile, MM-Scan completes exactly 1 multiply while MM-InPlace completes Ω(log(N/B)) of them",
+		Run:     runE9,
+	})
+	register(Experiment{
+		ID:      "E10",
+		Source:  "Lemma 2 (No-Catch-up)",
+		Summary: "Randomised check: starting a square sequence earlier in a reference trace never finishes later",
+		Run:     runE10,
+	})
+	register(Experiment{
+		ID:      "E11",
+		Source:  "Section 3 (DAM optimality of MM-Scan)",
+		Summary: "Fixed-cache LRU replay of the MM-Scan trace: misses scale as Θ(N^{3/2}/(√M·B))",
+		Run:     runE11,
+	})
+}
+
+func runE9(cfg Config) (*Table, error) {
+	const bw = 8
+	t := &Table{
+		ID:     "E9",
+		Title:  "Multiplies completed within MM-Scan's worst-case profile (B=8 words/block)",
+		Header: []string{"dim", "N words", "profile boxes", "profile IOs", "MM-Scan", "MM-InPlace"},
+	}
+	dims := []int{32, 64, 128, 256}
+	if cfg.MaxK >= 7 {
+		dims = append(dims, 512)
+	}
+	var lastScan, lastInp int
+	firstInp := 0
+	for i, dim := range dims {
+		wc, err := matrix.WorstCaseProfile(dim, bw)
+		if err != nil {
+			return nil, err
+		}
+		boxes := wc.Boxes()
+		// 12 repetitions comfortably exceed the profile's capacity for both
+		// algorithms at every size here while keeping the dim-512 repeated
+		// trace within memory.
+		count := func(tr *trace.Trace) (int, error) {
+			rep, err := matrix.RepeatTraceFresh(tr, 12)
+			if err != nil {
+				return 0, err
+			}
+			end, err := paging.SquareRunFrom(rep, 0, boxes)
+			if err != nil {
+				return 0, err
+			}
+			return end / tr.Len(), nil
+		}
+		scanTr, err := matrix.TraceMulScan(dim, bw)
+		if err != nil {
+			return nil, err
+		}
+		inpTr, err := matrix.TraceMulInPlace(dim, bw)
+		if err != nil {
+			return nil, err
+		}
+		scanCount, err := count(scanTr)
+		if err != nil {
+			return nil, err
+		}
+		inpCount, err := count(inpTr)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(dim, dim*dim, wc.Len(), wc.Duration(), scanCount, inpCount)
+		lastScan, lastInp = scanCount, inpCount
+		if i == 0 {
+			firstInp = inpCount
+		}
+	}
+	t.Note = fmt.Sprintf("MM-Scan stays at %d multiply per profile; MM-InPlace grows from %d to %d — one extra multiply per doubling of dim, the Ω(log(N/B)) shape.", lastScan, firstInp, lastInp)
+	return t, nil
+}
+
+func runE10(cfg Config) (*Table, error) {
+	rng := xrand.New(cfg.Seed ^ 0x10)
+	trials := cfg.Trials * 100
+	violations := 0
+	for trial := 0; trial < trials; trial++ {
+		refs := 20 + rng.Intn(1500)
+		b := &trace.Builder{}
+		for i := 0; i < refs; i++ {
+			b.Access(rng.Int63n(48))
+		}
+		tr := b.Build()
+		nBoxes := 1 + rng.Intn(8)
+		boxes := make([]int64, nBoxes)
+		for i := range boxes {
+			boxes[i] = 1 + rng.Int63n(24)
+		}
+		i := rng.Intn(refs)
+		iPrime := rng.Intn(i + 1)
+		endLate, err := paging.SquareRunFrom(tr, i, boxes)
+		if err != nil {
+			return nil, err
+		}
+		endEarly, err := paging.SquareRunFrom(tr, iPrime, boxes)
+		if err != nil {
+			return nil, err
+		}
+		if endEarly > endLate {
+			violations++
+		}
+	}
+	t := &Table{
+		ID:     "E10",
+		Title:  "No-Catch-up Lemma: delayed starts never finish earlier",
+		Header: []string{"randomised trials", "violations"},
+	}
+	t.AddRow(trials, violations)
+	if violations > 0 {
+		t.Note = "VIOLATIONS FOUND — the square-cache semantics break Lemma 2!"
+	} else {
+		t.Note = "no counterexample: for every sampled trace, square sequence, and start pair i' <= i, the earlier start finished no later."
+	}
+	return t, nil
+}
+
+func runE11(cfg Config) (*Table, error) {
+	const bw = 8
+	dim := 128
+	tr, err := matrix.TraceMulScan(dim, bw)
+	if err != nil {
+		return nil, err
+	}
+	nWords := float64(dim * dim)
+	t := &Table{
+		ID:     "E11",
+		Title:  "DAM sanity: MM-Scan trace under fixed-capacity LRU (dim 128, B=8)",
+		Header: []string{"M (blocks)", "LRU misses", "OPT misses", "LRU/OPT", "misses·√(M·B)·B/N^1.5"},
+	}
+	var logM, logMiss []float64
+	for _, m := range []int64{16, 32, 64, 128, 256, 512, 1024} {
+		lru, err := paging.RunLRUFixed(tr, m)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := paging.RunOPTFixed(tr, m)
+		if err != nil {
+			return nil, err
+		}
+		mWords := float64(m * bw)
+		konst := float64(lru) * math.Sqrt(mWords) * bw / math.Pow(nWords, 1.5)
+		t.AddRow(m, lru, opt, float64(lru)/float64(opt), konst)
+		// Below the tall-cache threshold the cache cannot even hold a base
+		// case's working set and every access misses; only the scaling
+		// regime enters the exponent fit.
+		if lru < int64(tr.Len()) {
+			logM = append(logM, math.Log2(float64(m)))
+			logMiss = append(logMiss, math.Log2(float64(lru)))
+		}
+	}
+	fit, err := stats.LinearFit(logM, logMiss)
+	if err != nil {
+		return nil, err
+	}
+	t.Note = fmt.Sprintf("log-log slope of misses vs M = %.3f over the tall-cache regime (theory: -0.5, i.e. misses = Θ(N^1.5/(√M·B))); thrash-capped rows (misses = trace length) are excluded from the fit.", fit.Beta)
+	return t, nil
+}

@@ -1,0 +1,149 @@
+// Package fft implements the radix-2 fast Fourier transform — the paper's
+// other named a = b example (footnote 3: "classic (i.e., not
+// cache-oblivious) FFT ... cannot be optimal DAM algorithms").
+//
+// The recursive radix-2 FFT on m points splits into two half-size
+// transforms (even and odd indices) plus a Θ(m) butterfly combine: in
+// blocks that is (2,2,1)-regular — a = b = 2, c = 1 — squarely on the
+// boundary the paper leaves to future work and ablation A5 measures. (The
+// *optimal* cache-oblivious FFT is the √n-way four-step algorithm of
+// Frigo et al.; the radix-2 recursion here is deliberately the classic
+// non-optimal one, because that is the algorithm family the footnote
+// talks about.)
+//
+// The numeric implementation is tested against a naive O(n²) DFT and by
+// inverse round-trips; the traced variant feeds the paging substrate.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/trace"
+)
+
+// Forward computes the discrete Fourier transform of xs (length a power of
+// two) with the recursive radix-2 algorithm.
+func Forward(xs []complex128) ([]complex128, error) {
+	n := len(xs)
+	if n == 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("fft: length %d is not a power of two", n)
+	}
+	out := make([]complex128, n)
+	copy(out, xs)
+	scratch := make([]complex128, n)
+	rec(out, scratch, -1)
+	return out, nil
+}
+
+// Inverse computes the inverse DFT (normalised by 1/n).
+func Inverse(xs []complex128) ([]complex128, error) {
+	n := len(xs)
+	if n == 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("fft: length %d is not a power of two", n)
+	}
+	out := make([]complex128, n)
+	copy(out, xs)
+	scratch := make([]complex128, n)
+	rec(out, scratch, +1)
+	inv := complex(1/float64(n), 0)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out, nil
+}
+
+// rec transforms xs in place using scratch; sign is the exponent's sign
+// (-1 forward, +1 inverse).
+func rec(xs, scratch []complex128, sign float64) {
+	n := len(xs)
+	if n == 1 {
+		return
+	}
+	h := n / 2
+	// Split scan: deal evens and odds into scratch halves.
+	for i := 0; i < h; i++ {
+		scratch[i] = xs[2*i]
+		scratch[h+i] = xs[2*i+1]
+	}
+	copy(xs, scratch)
+	rec(xs[:h], scratch[:h], sign)
+	rec(xs[h:], scratch[h:], sign)
+	// Butterfly combine scan.
+	for i := 0; i < h; i++ {
+		w := cmplx.Exp(complex(0, sign*2*math.Pi*float64(i)/float64(n)))
+		e, o := xs[i], xs[h+i]
+		scratch[i] = e + w*o
+		scratch[h+i] = e - w*o
+	}
+	copy(xs, scratch)
+}
+
+// NaiveDFT is the O(n²) reference transform.
+func NaiveDFT(xs []complex128) []complex128 {
+	n := len(xs)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			angle := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			sum += xs[j] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// fftBaseLen is the traced recursion's cutoff in words.
+const fftBaseLen = 8
+
+// TraceFFT emits the block trace of the radix-2 FFT on n complex points
+// (power of two) with blockWords points per block. The data lives at word
+// offset 0 and the scratch at offset n; a subproblem on [off, off+m)
+// touches its array blocks and scratch blocks during the split and combine
+// scans — the (2,2,1) shape in blocks.
+func TraceFFT(n int, blockWords int64) (*trace.Trace, error) {
+	if n < fftBaseLen || n&(n-1) != 0 {
+		return nil, fmt.Errorf("fft: traced transform needs power-of-two length >= %d, got %d", fftBaseLen, n)
+	}
+	if blockWords < 1 {
+		return nil, fmt.Errorf("fft: block size %d < 1", blockWords)
+	}
+	g := &fftTraceGen{b: &trace.Builder{}, bw: blockWords, scratchBase: int64(n)}
+	g.rec(0, int64(n))
+	return g.b.Build(), nil
+}
+
+type fftTraceGen struct {
+	b           *trace.Builder
+	bw          int64
+	scratchBase int64
+}
+
+func (g *fftTraceGen) touch(off, words int64) {
+	first := off / g.bw
+	last := (off + words - 1) / g.bw
+	for blk := first; blk <= last; blk++ {
+		g.b.Access(blk)
+	}
+}
+
+func (g *fftTraceGen) rec(off, m int64) {
+	if m <= fftBaseLen {
+		g.touch(off, m)
+		g.b.EndLeaf()
+		return
+	}
+	h := m / 2
+	// Split scan: read array, write scratch, copy back.
+	g.touch(off, m)
+	g.touch(g.scratchBase+off, m)
+	g.touch(off, m)
+	g.rec(off, h)
+	g.rec(off+h, h)
+	// Butterfly combine scan.
+	g.touch(off, m)
+	g.touch(g.scratchBase+off, m)
+	g.touch(off, m)
+}

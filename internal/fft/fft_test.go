@@ -1,0 +1,160 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func approxEqual(a, b []complex128, eps float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+func randomSignal(src *xrand.Source, n int) []complex128 {
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(2*src.Float64()-1, 2*src.Float64()-1)
+	}
+	return out
+}
+
+func TestForwardValidation(t *testing.T) {
+	if _, err := Forward(make([]complex128, 12)); err == nil {
+		t.Error("length 12 accepted")
+	}
+	if _, err := Forward(nil); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := Inverse(make([]complex128, 3)); err == nil {
+		t.Error("inverse length 3 accepted")
+	}
+}
+
+func TestForwardMatchesNaive(t *testing.T) {
+	src := xrand.New(61)
+	for _, n := range []int{1, 2, 4, 8, 32, 128} {
+		xs := randomSignal(src, n)
+		fast, err := Forward(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow := NaiveDFT(xs)
+		if !approxEqual(fast, slow, 1e-9*float64(n)) {
+			t.Errorf("n=%d: FFT differs from naive DFT", n)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	src := xrand.New(67)
+	for _, n := range []int{4, 64, 1024} {
+		xs := randomSignal(src, n)
+		fwd, err := Forward(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Inverse(fwd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approxEqual(back, xs, 1e-9*float64(n)) {
+			t.Errorf("n=%d: inverse(forward(x)) != x", n)
+		}
+	}
+}
+
+func TestImpulseResponse(t *testing.T) {
+	// The DFT of a unit impulse is all ones.
+	xs := make([]complex128, 8)
+	xs[0] = 1
+	out, err := Forward(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestConstantSignal(t *testing.T) {
+	// The DFT of a constant is an impulse at bin 0 of height n.
+	n := 16
+	xs := make([]complex128, n)
+	for i := range xs {
+		xs[i] = 1
+	}
+	out, err := Forward(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(out[0]-complex(float64(n), 0)) > 1e-9 {
+		t.Errorf("bin 0 = %v, want %d", out[0], n)
+	}
+	for i := 1; i < n; i++ {
+		if cmplx.Abs(out[i]) > 1e-9 {
+			t.Errorf("bin %d = %v, want 0", i, out[i])
+		}
+	}
+}
+
+// Property: Parseval — Σ|x|² = (1/n)Σ|X|², plus linearity.
+func TestParsevalProperty(t *testing.T) {
+	check := func(seed uint32, sizeSel uint8) bool {
+		n := []int{8, 16, 64}[int(sizeSel)%3]
+		src := xrand.New(uint64(seed))
+		xs := randomSignal(src, n)
+		X, err := Forward(xs)
+		if err != nil {
+			return false
+		}
+		var timeE, freqE float64
+		for i := range xs {
+			timeE += real(xs[i])*real(xs[i]) + imag(xs[i])*imag(xs[i])
+			freqE += real(X[i])*real(X[i]) + imag(X[i])*imag(X[i])
+		}
+		return math.Abs(timeE-freqE/float64(n)) < 1e-9*float64(n)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceFFTValidation(t *testing.T) {
+	if _, err := TraceFFT(12, 4); err == nil {
+		t.Error("non-power accepted")
+	}
+	if _, err := TraceFFT(4, 4); err == nil {
+		t.Error("below base accepted")
+	}
+	if _, err := TraceFFT(64, 0); err == nil {
+		t.Error("block 0 accepted")
+	}
+}
+
+func TestTraceFFTShape(t *testing.T) {
+	tr, err := TraceFFT(256, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2^levels leaves, levels = log2(256/8) = 5.
+	if tr.Leaves() != 32 {
+		t.Errorf("leaves = %d, want 32", tr.Leaves())
+	}
+	// Footprint: data + scratch = 2n/B blocks.
+	if got := tr.DistinctBlocks(); got != 128 {
+		t.Errorf("distinct = %d, want 128", got)
+	}
+}

@@ -1,0 +1,169 @@
+package matrix
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+const eps = 1e-9
+
+func randomPair(t *testing.T, n int, seed uint64) (*Matrix, *Matrix) {
+	t.Helper()
+	src := xrand.New(seed)
+	a, err := NewRandom(n, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRandom(n, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("dim 0 accepted")
+	}
+	m, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 || m.At(2, 1) != 0 {
+		t.Error("At/Set wrong")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := MustNew(2)
+	m.Set(0, 0, 1)
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Error("clone shares storage")
+	}
+}
+
+func TestMulNaiveIdentity(t *testing.T) {
+	n := 16
+	a, _ := randomPair(t, n, 1)
+	id := MustNew(n)
+	for i := 0; i < n; i++ {
+		id.Set(i, i, 1)
+	}
+	c, err := MulNaive(a, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.EqualApprox(a, eps) {
+		t.Error("A·I != A")
+	}
+}
+
+func TestMulNaiveKnown(t *testing.T) {
+	a := MustNew(2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 3)
+	a.Set(1, 1, 4)
+	b := MustNew(2)
+	b.Set(0, 0, 5)
+	b.Set(0, 1, 6)
+	b.Set(1, 0, 7)
+	b.Set(1, 1, 8)
+	c, err := MulNaive(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [2][2]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("C = %v at (%d,%d), want %v", c.At(i, j), i, j, want[i][j])
+			}
+		}
+	}
+}
+
+func TestDimensionMismatch(t *testing.T) {
+	a := MustNew(4)
+	b := MustNew(8)
+	if _, err := MulNaive(a, b); err == nil {
+		t.Error("mismatched dims accepted")
+	}
+}
+
+func TestRecursiveNeedsPowerOfTwo(t *testing.T) {
+	a := MustNew(12)
+	b := MustNew(12)
+	if _, err := MulScan(a, b); err == nil {
+		t.Error("MulScan accepted dim 12")
+	}
+	if _, err := MulInPlace(a, b); err == nil {
+		t.Error("MulInPlace accepted dim 12")
+	}
+	if _, err := MulStrassen(a, b); err == nil {
+		t.Error("MulStrassen accepted dim 12")
+	}
+}
+
+func TestAllAlgorithmsAgree(t *testing.T) {
+	for _, n := range []int{8, 16, 32, 64} {
+		a, b := randomPair(t, n, uint64(n))
+		want, err := MulNaive(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scan, err := MulScan(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := scan.MaxAbsDiff(want); d > 1e-9 {
+			t.Errorf("n=%d: MulScan differs from naive by %g", n, d)
+		}
+		inPlace, err := MulInPlace(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := inPlace.MaxAbsDiff(want); d > 1e-9 {
+			t.Errorf("n=%d: MulInPlace differs from naive by %g", n, d)
+		}
+		strassen, err := MulStrassen(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Strassen is numerically laxer: scaled tolerance.
+		if d := strassen.MaxAbsDiff(want); d > 1e-7 {
+			t.Errorf("n=%d: MulStrassen differs from naive by %g", n, d)
+		}
+	}
+}
+
+// Property: algorithms agree on arbitrary seeded inputs.
+func TestMulAgreementProperty(t *testing.T) {
+	check := func(seed uint32, sizeSel uint8) bool {
+		n := []int{8, 16, 32}[int(sizeSel)%3]
+		src := xrand.New(uint64(seed))
+		a, _ := NewRandom(n, src)
+		b, _ := NewRandom(n, src)
+		want, err := MulNaive(a, b)
+		if err != nil {
+			return false
+		}
+		scan, err := MulScan(a, b)
+		if err != nil {
+			return false
+		}
+		inp, err := MulInPlace(a, b)
+		if err != nil {
+			return false
+		}
+		return scan.MaxAbsDiff(want) < 1e-9 && inp.MaxAbsDiff(want) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,115 @@
+package memsort
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/profile"
+	"repro/internal/xrand"
+)
+
+func constSource(x int64) profile.Source {
+	return profile.FuncSource(func() int64 { return x })
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := SortAdaptive(1, constSource(4), 0); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := SortAdaptive(16, constSource(0), 10); err == nil {
+		t.Error("zero box accepted")
+	}
+	if _, err := SortAdaptive(1<<20, constSource(1), 5); err == nil {
+		t.Error("maxBoxes guard did not trip")
+	}
+}
+
+func TestObliviousCostIsNLogN(t *testing.T) {
+	// With fan-in 2 accounting, total I/Os = n·log2(n) regardless of box
+	// size (up to the final partial box).
+	n := int64(1024)
+	want := float64(n) * math.Log2(float64(n)) // 10240
+	for _, x := range []int64{1, 7, 64, 4096} {
+		res, err := SortOblivious(n, constSource(x), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(float64(res.IOs)-want) > float64(x)+1 {
+			t.Errorf("box %d: oblivious IOs %d, want ~%.0f", x, res.IOs, want)
+		}
+	}
+}
+
+func TestAdaptiveMatchesClosedForm(t *testing.T) {
+	// Constant boxes of size X: adaptive needs ~n·log2(n)/log2(X) I/Os —
+	// the textbook external-sort cost with fan-in X.
+	n := int64(4096)
+	for _, x := range []int64{4, 16, 256} {
+		res, err := SortAdaptive(n, constSource(x), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(n) * math.Log2(float64(n)) / math.Log2(float64(x))
+		if math.Abs(float64(res.IOs)-want) > float64(x)+1 {
+			t.Errorf("box %d: adaptive IOs %d, want ~%.0f", x, res.IOs, want)
+		}
+	}
+}
+
+func TestSpeedupIsLogOfBoxSize(t *testing.T) {
+	// On a constant profile of boxes X, oblivious/adaptive = log2(X).
+	n := int64(1 << 14)
+	for _, x := range []int64{16, 256} {
+		p := profile.MustNew([]int64{x})
+		_, _, ratio, err := Speedup(n, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := math.Log2(float64(x)); math.Abs(ratio-want) > 0.2 {
+			t.Errorf("box %d: speedup %.2f, want ~%.2f", x, ratio, want)
+		}
+	}
+}
+
+func TestHugeBoxClamped(t *testing.T) {
+	// A box far larger than n gains at most X·log2(n): the sorter cannot
+	// exploit fan-in beyond the data.
+	n := int64(64)
+	res, err := SortAdaptive(n, constSource(1<<30), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Boxes != 1 {
+		t.Errorf("one huge box should finish the sort, used %d", res.Boxes)
+	}
+	if res.IOs > n+1 {
+		t.Errorf("huge box charged %d I/Os, want ~n = %d", res.IOs, n)
+	}
+}
+
+// Property: adaptive never needs more I/Os than oblivious, both finish,
+// and entropy lands exactly on the target.
+func TestAdaptiveDominatesProperty(t *testing.T) {
+	check := func(seed uint32, nRaw uint8) bool {
+		src := xrand.New(uint64(seed))
+		n := int64(4) << (nRaw % 8) // 4..512
+		boxes := make([]int64, 20)
+		for i := range boxes {
+			boxes[i] = 1 + src.Int63n(256)
+		}
+		p := profile.MustNew(boxes)
+		a, o, ratio, err := Speedup(n, p)
+		if err != nil {
+			return false
+		}
+		if a.IOs > o.IOs || ratio < 1 {
+			return false
+		}
+		need := float64(n) * math.Log2(float64(n))
+		return a.Entropy >= need && o.Entropy >= need
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

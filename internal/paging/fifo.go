@@ -1,0 +1,105 @@
+package paging
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// FIFO is a first-in-first-out page cache with dynamically adjustable
+// capacity — the other classical marking-free policy, included so the
+// DAM-validation experiments can show the usual LRU/FIFO/OPT ordering on
+// the repository's traces.
+type FIFO struct {
+	capacity int64
+	resident map[int64]uint64 // block -> fetch sequence number
+	queue    []fifoEntry      // fetch order; entries may be stale
+	head     int              // index of the oldest possibly-live entry
+	seq      uint64
+	misses   int64
+	hits     int64
+}
+
+type fifoEntry struct {
+	block int64
+	seq   uint64
+}
+
+// NewFIFO returns an empty FIFO cache with the given capacity (>= 1).
+func NewFIFO(capacity int64) (*FIFO, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("paging: FIFO capacity %d < 1", capacity)
+	}
+	return &FIFO{capacity: capacity, resident: make(map[int64]uint64)}, nil
+}
+
+// Len reports the number of resident blocks.
+func (f *FIFO) Len() int64 { return int64(len(f.resident)) }
+
+// Misses reports the number of accesses that required a fetch.
+func (f *FIFO) Misses() int64 { return f.misses }
+
+// Hits reports the number of accesses served from cache.
+func (f *FIFO) Hits() int64 { return f.hits }
+
+// SetCapacity resizes the cache, evicting oldest blocks if it shrank.
+func (f *FIFO) SetCapacity(capacity int64) error {
+	if capacity < 1 {
+		return fmt.Errorf("paging: FIFO capacity %d < 1", capacity)
+	}
+	f.capacity = capacity
+	for int64(len(f.resident)) > f.capacity {
+		f.evict()
+	}
+	return nil
+}
+
+// Access touches block, returning true on a hit. FIFO does not reorder on
+// hits — that is the whole difference from LRU.
+func (f *FIFO) Access(block int64) bool {
+	if _, ok := f.resident[block]; ok {
+		f.hits++
+		return true
+	}
+	f.misses++
+	if int64(len(f.resident)) >= f.capacity {
+		f.evict()
+	}
+	f.seq++
+	f.resident[block] = f.seq
+	f.queue = append(f.queue, fifoEntry{block: block, seq: f.seq})
+	return false
+}
+
+// evict removes the least recently *fetched* resident block, skipping
+// stale queue entries (a block evicted and later refetched leaves a dead
+// entry behind; the sequence number identifies the live one).
+func (f *FIFO) evict() {
+	for f.head < len(f.queue) {
+		e := f.queue[f.head]
+		f.head++
+		if cur, ok := f.resident[e.block]; ok && cur == e.seq {
+			delete(f.resident, e.block)
+			break
+		}
+	}
+	// Compact the dead prefix once it dominates, keeping memory linear in
+	// the number of resident blocks rather than total fetches.
+	if f.head > 4096 && f.head > len(f.queue)/2 {
+		f.queue = append(f.queue[:0:0], f.queue[f.head:]...)
+		f.head = 0
+	}
+}
+
+// RunFIFOFixed replays tr through a FIFO of fixed capacity and returns the
+// miss count.
+func RunFIFOFixed(tr *trace.Trace, capacity int64) (int64, error) {
+	f, err := NewFIFO(capacity)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < tr.Len(); i++ {
+		f.Access(tr.Block(i))
+	}
+	return f.Misses(), nil
+}

@@ -1,0 +1,171 @@
+package paging
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// LRU is a least-recently-used page cache whose capacity (in blocks) can
+// change between accesses — the DAM-model cache generalised the way the
+// cache-adaptive model requires. Shrinking the capacity immediately evicts
+// the least recently used overflow.
+//
+// The implementation is a classic map + intrusive doubly-linked list; all
+// operations are O(1).
+type LRU struct {
+	capacity int64
+	nodes    map[int64]*lruNode
+	head     *lruNode // most recently used
+	tail     *lruNode // least recently used
+	misses   int64
+	hits     int64
+}
+
+type lruNode struct {
+	block      int64
+	prev, next *lruNode
+}
+
+// NewLRU returns an empty LRU with the given capacity (>= 1).
+func NewLRU(capacity int64) (*LRU, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("paging: LRU capacity %d < 1", capacity)
+	}
+	return &LRU{capacity: capacity, nodes: make(map[int64]*lruNode)}, nil
+}
+
+// Len reports the number of resident blocks.
+func (l *LRU) Len() int64 { return int64(len(l.nodes)) }
+
+// Misses and Hits report the access counters.
+func (l *LRU) Misses() int64 { return l.misses }
+
+// Hits reports the number of accesses served from cache.
+func (l *LRU) Hits() int64 { return l.hits }
+
+// Capacity reports the current capacity.
+func (l *LRU) Capacity() int64 { return l.capacity }
+
+// SetCapacity resizes the cache, evicting LRU blocks if it shrank.
+func (l *LRU) SetCapacity(capacity int64) error {
+	if capacity < 1 {
+		return fmt.Errorf("paging: LRU capacity %d < 1", capacity)
+	}
+	l.capacity = capacity
+	for int64(len(l.nodes)) > l.capacity {
+		l.evict()
+	}
+	return nil
+}
+
+// Clear empties the cache (the square-boundary convention) without
+// touching the counters.
+func (l *LRU) Clear() {
+	l.nodes = make(map[int64]*lruNode)
+	l.head, l.tail = nil, nil
+}
+
+// Access touches block, returning true on a hit. On a miss the block is
+// fetched, evicting the LRU block if the cache is full.
+func (l *LRU) Access(block int64) bool {
+	if n, ok := l.nodes[block]; ok {
+		l.hits++
+		l.moveToFront(n)
+		return true
+	}
+	l.misses++
+	if int64(len(l.nodes)) >= l.capacity {
+		l.evict()
+	}
+	n := &lruNode{block: block}
+	l.nodes[block] = n
+	l.pushFront(n)
+	return false
+}
+
+func (l *LRU) pushFront(n *lruNode) {
+	n.prev = nil
+	n.next = l.head
+	if l.head != nil {
+		l.head.prev = n
+	}
+	l.head = n
+	if l.tail == nil {
+		l.tail = n
+	}
+}
+
+func (l *LRU) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (l *LRU) moveToFront(n *lruNode) {
+	if l.head == n {
+		return
+	}
+	l.unlink(n)
+	l.pushFront(n)
+}
+
+func (l *LRU) evict() {
+	if l.tail == nil {
+		return
+	}
+	victim := l.tail
+	l.unlink(victim)
+	delete(l.nodes, victim.block)
+}
+
+// RunLRUFixed replays tr through an LRU of fixed capacity and returns the
+// miss count — the DAM-model I/O cost of the trace.
+func RunLRUFixed(tr *trace.Trace, capacity int64) (int64, error) {
+	l, err := NewLRU(capacity)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < tr.Len(); i++ {
+		l.Access(tr.Block(i))
+	}
+	return l.Misses(), nil
+}
+
+// RunLRUProfile replays tr through an LRU whose capacity follows the raw
+// memory profile m: the cache has capacity m[t] while serving the t-th miss
+// (I/O); time — and hence the profile index — advances only on misses, as
+// in the CA model. If the trace needs more I/Os than len(m), the last entry
+// is held. Returns the miss count.
+func RunLRUProfile(tr *trace.Trace, m []int64) (int64, error) {
+	if len(m) == 0 {
+		return 0, fmt.Errorf("paging: empty profile")
+	}
+	l, err := NewLRU(m[0])
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < tr.Len(); i++ {
+		if l.Access(tr.Block(i)) {
+			continue
+		}
+		// A miss: time advanced; apply the post-I/O capacity.
+		t := l.Misses()
+		idx := int(t)
+		if idx >= len(m) {
+			idx = len(m) - 1
+		}
+		if err := l.SetCapacity(m[idx]); err != nil {
+			return 0, err
+		}
+	}
+	return l.Misses(), nil
+}

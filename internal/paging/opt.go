@@ -1,0 +1,94 @@
+package paging
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// This file implements Belady's OPT (farthest-in-future) replacement for a
+// fixed-size cache. OPT gives the offline-optimal miss count, which the
+// DAM-validation experiment uses to confirm that LRU's constant factor on
+// our traces is benign (the classical 2-competitiveness with capacity
+// augmentation shows up clearly).
+
+// optEntry is a lazily-invalidated heap entry: block with its next use
+// position at the time of insertion.
+type optEntry struct {
+	block   int64
+	nextUse int
+}
+
+// optHeap is a max-heap on nextUse (farthest next use on top).
+type optHeap []optEntry
+
+func (h optHeap) Len() int            { return len(h) }
+func (h optHeap) Less(i, j int) bool  { return h[i].nextUse > h[j].nextUse }
+func (h optHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *optHeap) Push(x interface{}) { *h = append(*h, x.(optEntry)) }
+func (h *optHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// RunOPTFixed replays tr through Belady's optimal policy with a fixed
+// capacity and returns the miss count.
+func RunOPTFixed(tr *trace.Trace, capacity int64) (int64, error) {
+	if capacity < 1 {
+		return 0, fmt.Errorf("paging: OPT capacity %d < 1", capacity)
+	}
+	n := tr.Len()
+	if n == 0 {
+		return 0, nil
+	}
+	const inf = int(^uint(0) >> 1)
+
+	// nextUse[i] = next position after i referencing the same block.
+	nextUse := make([]int, n)
+	last := make(map[int64]int, 1024)
+	for i := n - 1; i >= 0; i-- {
+		blk := tr.Block(i)
+		if j, ok := last[blk]; ok {
+			nextUse[i] = j
+		} else {
+			nextUse[i] = inf
+		}
+		last[blk] = i
+	}
+
+	resident := make(map[int64]int, capacity) // block -> its current nextUse
+	h := &optHeap{}
+	var misses int64
+	for i := 0; i < n; i++ {
+		blk := tr.Block(i)
+		if _, ok := resident[blk]; ok {
+			resident[blk] = nextUse[i]
+			heap.Push(h, optEntry{block: blk, nextUse: nextUse[i]})
+			continue
+		}
+		misses++
+		if int64(len(resident)) >= capacity {
+			// Evict the resident block with the farthest valid next use,
+			// skipping stale heap entries.
+			for {
+				if h.Len() == 0 {
+					return 0, fmt.Errorf("paging: OPT heap exhausted with %d resident", len(resident))
+				}
+				top := heap.Pop(h).(optEntry)
+				cur, ok := resident[top.block]
+				if !ok || cur != top.nextUse {
+					continue // stale entry
+				}
+				delete(resident, top.block)
+				break
+			}
+		}
+		resident[blk] = nextUse[i]
+		heap.Push(h, optEntry{block: blk, nextUse: nextUse[i]})
+	}
+	return misses, nil
+}

@@ -1,0 +1,138 @@
+// Package paging implements the memory/caching substrates that traces are
+// replayed against.
+//
+// Two substrates matter for the paper:
+//
+//  1. SquareRun — the cache-adaptive model's square-profile semantics.
+//     Prior work (Bender et al. 2014) shows that, w.l.o.g. up to constant
+//     factors, one may assume cache is cleared at the start of each square,
+//     after which a square of size X serves exactly X distinct blocks: each
+//     first touch of a block within a square is one I/O (one unit of time),
+//     repeat touches are free, and the square ends after X I/Os.
+//
+//  2. LRU / FIFO / OPT page replacement with fixed or dynamically changing
+//     capacity — the classical DAM-model machinery, used to validate the
+//     matrix-multiply I/O complexity (experiment E11) and to sanity-check
+//     that the square semantics above are a faithful constant-factor proxy.
+package paging
+
+import (
+	"fmt"
+
+	"repro/internal/profile"
+	"repro/internal/trace"
+)
+
+// BoxStat records what one memory-profile box accomplished during a square
+// run.
+type BoxStat struct {
+	Size   int64 // box size in blocks (= its duration in I/Os)
+	IOs    int64 // I/Os actually consumed (= distinct blocks fetched; < Size only for the final box)
+	Leaves int64 // base cases completed within the box
+	Refs   int64 // total references served (hits + misses)
+}
+
+// SquareRun replays tr against boxes drawn from src under the CA model's
+// square semantics and returns per-box statistics. The run ends when the
+// trace is exhausted; the final box is typically partial. maxBoxes guards
+// against pathological stalls (0 = unbounded).
+func SquareRun(tr *trace.Trace, src profile.Source, maxBoxes int64) ([]BoxStat, error) {
+	if tr.Len() == 0 {
+		return nil, nil
+	}
+	// Epoch-stamped residency set: resident[b] == epoch means block b was
+	// fetched in the current box.
+	resident := make([]int64, tr.MaxBlock()+1)
+	for i := range resident {
+		resident[i] = -1
+	}
+	epoch := int64(0)
+
+	var stats []BoxStat
+	cur := BoxStat{Size: src.Next()}
+	if cur.Size < 1 {
+		return nil, fmt.Errorf("paging: box source produced size %d", cur.Size)
+	}
+
+	for i := 0; i < tr.Len(); i++ {
+		blk := tr.Block(i)
+		if resident[blk] != epoch {
+			// Miss: needs an I/O from the current box's budget.
+			if cur.IOs == cur.Size {
+				// Budget exhausted: this reference belongs to the next box.
+				stats = append(stats, cur)
+				if maxBoxes > 0 && int64(len(stats)) >= maxBoxes {
+					return stats, fmt.Errorf("paging: run exceeded %d boxes", maxBoxes)
+				}
+				epoch++
+				cur = BoxStat{Size: src.Next()}
+				if cur.Size < 1 {
+					return stats, fmt.Errorf("paging: box source produced size %d", cur.Size)
+				}
+			}
+			resident[blk] = epoch
+			cur.IOs++
+		}
+		cur.Refs++
+		if tr.EndsLeaf(i) {
+			cur.Leaves++
+		}
+	}
+	stats = append(stats, cur)
+	return stats, nil
+}
+
+// SquareRunFrom replays the suffix of tr starting at reference startIdx
+// against the finite square sequence boxes, and returns the index of the
+// first reference NOT served (tr.Len() if the boxes finish the trace).
+// This is the primitive behind the No-Catch-up Lemma check (Lemma 2):
+// if boxes started at r_i finish at r_j, then started at any r_{i'} with
+// i' < i they finish at some r_{j'} with j' <= j.
+func SquareRunFrom(tr *trace.Trace, startIdx int, boxes []int64) (int, error) {
+	if startIdx < 0 || startIdx > tr.Len() {
+		return 0, fmt.Errorf("paging: start index %d out of range", startIdx)
+	}
+	resident := make(map[int64]struct{})
+	i := startIdx
+	for _, size := range boxes {
+		if size < 1 {
+			return 0, fmt.Errorf("paging: box size %d invalid", size)
+		}
+		// Fresh square: cache cleared.
+		clear(resident)
+		var ios int64
+		for i < tr.Len() {
+			blk := tr.Block(i)
+			if _, ok := resident[blk]; !ok {
+				if ios == size {
+					break // budget exhausted; reference goes to next box
+				}
+				resident[blk] = struct{}{}
+				ios++
+			}
+			i++
+		}
+		if i == tr.Len() {
+			return i, nil
+		}
+	}
+	return i, nil
+}
+
+// TotalLeaves sums leaf completions over box stats.
+func TotalLeaves(stats []BoxStat) int64 {
+	var n int64
+	for _, s := range stats {
+		n += s.Leaves
+	}
+	return n
+}
+
+// TotalIOs sums I/Os over box stats.
+func TotalIOs(stats []BoxStat) int64 {
+	var n int64
+	for _, s := range stats {
+		n += s.IOs
+	}
+	return n
+}

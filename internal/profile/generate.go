@@ -1,0 +1,139 @@
+package profile
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// This file contains generators for raw (non-square) memory profiles m(t) —
+// the scenarios the paper's introduction motivates — plus the reduction
+// from an arbitrary profile to a square profile (Definition 1, following
+// the inner-square construction of Bender et al. 2016).
+
+// Constant returns a profile fixed at m blocks for length steps.
+func Constant(m int64, length int) ([]int64, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("profile: constant size %d < 1", m)
+	}
+	if length < 0 {
+		return nil, fmt.Errorf("profile: negative length %d", length)
+	}
+	out := make([]int64, length)
+	for i := range out {
+		out[i] = m
+	}
+	return out, nil
+}
+
+// Sawtooth models the winner-take-all phenomenon from the paper's
+// introduction: a process's cache allocation slowly grows from minM to maxM
+// (as it wins residency) and then crashes back down to minM (a periodic
+// flush). The allocation grows linearly over period steps, then drops.
+func Sawtooth(minM, maxM int64, period, length int) ([]int64, error) {
+	if minM < 1 || maxM < minM {
+		return nil, fmt.Errorf("profile: sawtooth range [%d,%d] invalid", minM, maxM)
+	}
+	if period < 1 {
+		return nil, fmt.Errorf("profile: sawtooth period %d < 1", period)
+	}
+	if length < 0 {
+		return nil, fmt.Errorf("profile: negative length %d", length)
+	}
+	out := make([]int64, length)
+	span := maxM - minM
+	for t := range out {
+		phase := t % period
+		out[t] = minM + span*int64(phase)/int64(period)
+	}
+	return out, nil
+}
+
+// RandomWalk returns a profile performing a bounded lazy random walk: at
+// each step the size stays, grows by up to step, or shrinks by up to step,
+// clamped to [minM, maxM]. This mimics cache allocations drifting as
+// co-running processes come and go. Note the CA model itself allows growth
+// of at most one block per I/O; Squarize absorbs any raw profile either way.
+func RandomWalk(src *xrand.Source, start, minM, maxM, step int64, length int) ([]int64, error) {
+	if minM < 1 || maxM < minM {
+		return nil, fmt.Errorf("profile: walk range [%d,%d] invalid", minM, maxM)
+	}
+	if start < minM || start > maxM {
+		return nil, fmt.Errorf("profile: walk start %d outside [%d,%d]", start, minM, maxM)
+	}
+	if step < 1 {
+		return nil, fmt.Errorf("profile: walk step %d < 1", step)
+	}
+	if length < 0 {
+		return nil, fmt.Errorf("profile: negative length %d", length)
+	}
+	out := make([]int64, length)
+	cur := start
+	for t := range out {
+		out[t] = cur
+		delta := src.Int63n(2*step+1) - step
+		cur += delta
+		if cur < minM {
+			cur = minM
+		}
+		if cur > maxM {
+			cur = maxM
+		}
+	}
+	return out, nil
+}
+
+// Squarize converts an arbitrary memory profile m (size in blocks at each
+// I/O step; all entries >= 1) into a square profile using the greedy
+// inner-square construction: starting at step t, take the largest X such
+// that m(t') >= X for all t' in [t, t+X), emit a box of size X, and advance
+// by X steps. Prior work shows the inner square profile approximates the
+// original up to constant-factor resource augmentation.
+//
+// If the tail of the profile cannot fit a full inner square (fewer steps
+// remain than the height available), Squarize emits a final box of size
+// equal to the number of remaining steps (never exceeding the minimum
+// height over those steps), so the square profile always covers exactly
+// len(m) I/O steps... except when the remaining heights are smaller than
+// the remaining length, in which case the greedy rule already applies. The
+// covering invariant (sum of box sizes == len(m)) is tested.
+func Squarize(m []int64) (*SquareProfile, error) {
+	for i, v := range m {
+		if v < 1 {
+			return nil, fmt.Errorf("profile: m(%d) = %d < 1", i, v)
+		}
+	}
+	var boxes []int64
+	t := 0
+	for t < len(m) {
+		// Grow X while the next X steps all have height >= X.
+		// Invariant: minH is the minimum of m[t:t+x].
+		x := int64(1)
+		minH := m[t]
+		for {
+			// Candidate next size x+1 requires x+1 steps available and
+			// min height over them >= x+1.
+			next := x + 1
+			if t+int(next) > len(m) {
+				break
+			}
+			h := minH
+			if mh := m[t+int(next)-1]; mh < h {
+				h = mh
+			}
+			if h < next {
+				break
+			}
+			minH = h
+			x = next
+		}
+		// Clamp to remaining steps so the square profile covers exactly the
+		// same time span.
+		if rem := int64(len(m) - t); x > rem {
+			x = rem
+		}
+		boxes = append(boxes, x)
+		t += int(x)
+	}
+	return &SquareProfile{boxes: boxes}, nil
+}

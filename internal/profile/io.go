@@ -1,0 +1,65 @@
+package profile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file provides the TSV interchange format the command-line tools
+// share: one box per line, either "size" or "index<TAB>size"; blank lines
+// and #-comments are ignored. profilegen emits it; mmtrace and cadaptive
+// can consume it, so captured or hand-crafted profiles round-trip through
+// every tool.
+
+// WriteTSV writes the profile as "index<TAB>size" lines.
+func (p *SquareProfile) WriteTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i, b := range p.boxes {
+		if _, err := fmt.Fprintf(bw, "%d\t%d\n", i, b); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTSV parses a profile from TSV: each non-blank, non-comment line is
+// either a bare box size or "index<TAB>size" (the index is ignored; order
+// is the line order).
+func ReadTSV(r io.Reader) (*SquareProfile, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var boxes []int64
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		var sizeField string
+		switch len(fields) {
+		case 1:
+			sizeField = fields[0]
+		case 2:
+			sizeField = fields[1]
+		default:
+			return nil, fmt.Errorf("profile: line %d has %d fields, want 1 or 2", lineNo, len(fields))
+		}
+		size, err := strconv.ParseInt(sizeField, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("profile: line %d: %v", lineNo, err)
+		}
+		if size < 1 {
+			return nil, fmt.Errorf("profile: line %d: box size %d < 1", lineNo, size)
+		}
+		boxes = append(boxes, size)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return &SquareProfile{boxes: boxes}, nil
+}

@@ -1,0 +1,106 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestTSVRoundTrip(t *testing.T) {
+	p := MustNew([]int64{1, 4, 16, 4, 1})
+	var buf bytes.Buffer
+	if err := p.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != p.Len() {
+		t.Fatalf("round trip changed length: %d -> %d", p.Len(), q.Len())
+	}
+	for i := 0; i < p.Len(); i++ {
+		if p.Box(i) != q.Box(i) {
+			t.Fatalf("box %d: %d -> %d", i, p.Box(i), q.Box(i))
+		}
+	}
+}
+
+func TestReadTSVFormats(t *testing.T) {
+	in := `# a comment
+7
+
+0	3
+12
+`
+	p, err := ReadTSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{7, 3, 12}
+	if p.Len() != len(want) {
+		t.Fatalf("boxes = %v", p.Boxes())
+	}
+	for i, w := range want {
+		if p.Box(i) != w {
+			t.Fatalf("boxes = %v, want %v", p.Boxes(), want)
+		}
+	}
+}
+
+func TestReadTSVErrors(t *testing.T) {
+	cases := []string{
+		"1\t2\t3\n", // too many fields
+		"abc\n",     // not a number
+		"0\n",       // size < 1
+		"-4\n",      // negative
+	}
+	for _, in := range cases {
+		if _, err := ReadTSV(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestReadTSVEmpty(t *testing.T) {
+	p, err := ReadTSV(strings.NewReader("# nothing\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 0 {
+		t.Error("empty input produced boxes")
+	}
+}
+
+// Property: WriteTSV/ReadTSV round-trips arbitrary profiles.
+func TestTSVRoundTripProperty(t *testing.T) {
+	check := func(seed uint32, nRaw uint8) bool {
+		src := xrand.New(uint64(seed))
+		n := int(nRaw)%100 + 1
+		boxes := make([]int64, n)
+		for i := range boxes {
+			boxes[i] = 1 + src.Int63n(1<<40)
+		}
+		p := MustNew(boxes)
+		var buf bytes.Buffer
+		if err := p.WriteTSV(&buf); err != nil {
+			return false
+		}
+		q, err := ReadTSV(&buf)
+		if err != nil || q.Len() != p.Len() {
+			return false
+		}
+		for i := 0; i < p.Len(); i++ {
+			if p.Box(i) != q.Box(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

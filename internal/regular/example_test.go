@@ -1,0 +1,68 @@
+package regular_test
+
+import (
+	"fmt"
+
+	"repro/internal/profile"
+	"repro/internal/regular"
+)
+
+// A box the size of the whole problem completes it in one step; unit boxes
+// pay the full serial I/O cost T(n) = a·T(n/b) + n^c.
+func ExampleExec_Step() {
+	spec := regular.MMScanSpec // (8,4,1)
+	e, err := regular.NewExec(spec, 64)
+	if err != nil {
+		panic(err)
+	}
+	progress := e.Step(64)
+	fmt.Println("one big box:", progress, "of", e.TotalLeaves(), "base cases")
+
+	e.Reset()
+	for !e.Done() {
+		e.Step(1)
+	}
+	fmt.Println("unit boxes:", e.BoxesUsed(), "=", spec.IOCost(64))
+	// Output:
+	// one big box: 512 of 512 base cases
+	// unit boxes: 960 = 960
+}
+
+// On the worst-case profile every box makes its minimum possible progress:
+// leaf boxes complete one base case, scan boxes complete none.
+func ExampleExec_Run() {
+	spec := regular.MMScanSpec
+	n := int64(16)
+	wc, err := profile.WorstCase(8, 4, n)
+	if err != nil {
+		panic(err)
+	}
+	src, err := profile.NewSliceSource(wc)
+	if err != nil {
+		panic(err)
+	}
+	e, err := regular.NewExec(spec, n)
+	if err != nil {
+		panic(err)
+	}
+	var wasted int
+	err = e.Run(src.Next, 0, func(box, progress int64) {
+		if progress == 0 {
+			wasted++
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d of %d boxes made no progress\n", wasted, e.BoxesUsed())
+	// Output: 9 of 73 boxes made no progress
+}
+
+// Theorem 2's rule: adaptive iff c < 1 or a < b.
+func ExampleSpec_Adaptive() {
+	fmt.Println(regular.MMScanSpec, regular.MMScanSpec.Adaptive())
+	fmt.Println(regular.MMInPlaceSpec, regular.MMInPlaceSpec.Adaptive())
+	// Output:
+	// (8,4,1)-regular false
+	// (8,4,0)-regular true
+}

@@ -1,0 +1,88 @@
+package regular
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// SyntheticTrace generates an explicit block-reference trace for the
+// canonical (a,b,c)-regular algorithm on a problem of n blocks.
+//
+// Addressing scheme: the problem of size m occupies the block range
+// [off, off+m). Its a children each have size m/b; child i occupies the
+// slot range [off + (i mod b)·(m/b), ·+m/b) — with a > b, children reuse
+// slots, modelling the data reuse that makes a > b algorithms cache-size
+// sensitive (e.g. MM-Scan's eight quadrant products over four quadrants).
+// The final scan touches the first ScanLen(m) blocks of the problem's
+// range (all m blocks when c = 1). Base cases access their single block
+// and mark a leaf completion.
+//
+// The trace therefore references exactly m distinct blocks for a problem of
+// size m (the Θ(n) distinct-blocks property of Definition 2), and its
+// length equals Spec.IOCost(n).
+func SyntheticTrace(spec Spec, n int64) (*trace.Trace, error) {
+	if _, err := NewSpec(spec.A, spec.B, spec.C); err != nil {
+		return nil, err
+	}
+	if !spec.ValidSize(n) {
+		return nil, fmt.Errorf("regular: problem size %d is not a power of b = %d", n, spec.B)
+	}
+	if cost := spec.IOCost(n); cost > 1<<28 {
+		return nil, fmt.Errorf("regular: synthetic trace for n = %d would have %.3g references; too large", n, cost)
+	}
+	b := &trace.Builder{}
+	emitSynthetic(b, spec, n, 0)
+	return b.Build(), nil
+}
+
+func emitSynthetic(b *trace.Builder, spec Spec, m, off int64) {
+	if m == 1 {
+		b.Access(off)
+		b.EndLeaf()
+		return
+	}
+	child := m / spec.B
+	for i := int64(0); i < spec.A; i++ {
+		slot := i % spec.B
+		emitSynthetic(b, spec, child, off+slot*child)
+	}
+	b.AccessRange(off, spec.ScanLen(m))
+}
+
+// SyntheticTraceShuffled is SyntheticTrace with the a subproblems of every
+// node executed in an independent uniformly random order — the natural
+// first candidate for the paper's open question about randomised
+// algorithms defeating worst-case profiles. Each child keeps its data slot
+// (slot = original index mod b), so only the execution order is
+// randomised, exactly as a randomised divide-and-conquer would behave.
+func SyntheticTraceShuffled(spec Spec, n int64, rng *xrand.Source) (*trace.Trace, error) {
+	if _, err := NewSpec(spec.A, spec.B, spec.C); err != nil {
+		return nil, err
+	}
+	if !spec.ValidSize(n) {
+		return nil, fmt.Errorf("regular: problem size %d is not a power of b = %d", n, spec.B)
+	}
+	if cost := spec.IOCost(n); cost > 1<<28 {
+		return nil, fmt.Errorf("regular: synthetic trace for n = %d would have %.3g references; too large", n, cost)
+	}
+	b := &trace.Builder{}
+	emitSyntheticShuffled(b, spec, n, 0, rng)
+	return b.Build(), nil
+}
+
+func emitSyntheticShuffled(b *trace.Builder, spec Spec, m, off int64, rng *xrand.Source) {
+	if m == 1 {
+		b.Access(off)
+		b.EndLeaf()
+		return
+	}
+	child := m / spec.B
+	order := rng.Perm(int(spec.A))
+	for _, i := range order {
+		slot := int64(i) % spec.B
+		emitSyntheticShuffled(b, spec, child, off+slot*child, rng)
+	}
+	b.AccessRange(off, spec.ScanLen(m))
+}

@@ -1,0 +1,129 @@
+// Package trace represents block-level memory reference traces.
+//
+// A trace is the sequence of block references an algorithm issues. Traces
+// are the ground-truth layer of the repository: the symbolic executor in
+// internal/regular reasons about recursion structure directly, while traces
+// generated from real algorithm implementations (internal/matrix,
+// internal/dp) or from the synthetic canonical generator are replayed
+// against the paging substrate (internal/paging) to cross-validate the
+// model.
+//
+// Besides raw block IDs, a trace records which accesses complete a base
+// case of the generating algorithm's recursion ("leaf markers"), because
+// the paper's progress measure counts base cases completed within each
+// memory-profile box.
+package trace
+
+import (
+	"fmt"
+)
+
+// Trace is an immutable sequence of block references with leaf-completion
+// markers.
+type Trace struct {
+	blocks   []int64
+	endsLeaf []bool
+	maxBlock int64
+	leaves   int64
+}
+
+// Builder accumulates a trace. The zero value is ready to use.
+type Builder struct {
+	blocks   []int64
+	endsLeaf []bool
+	maxBlock int64
+	leaves   int64
+}
+
+// Access appends a reference to block (which must be >= 0).
+func (b *Builder) Access(block int64) {
+	if block < 0 {
+		panic(fmt.Sprintf("trace: negative block %d", block))
+	}
+	b.blocks = append(b.blocks, block)
+	b.endsLeaf = append(b.endsLeaf, false)
+	if block > b.maxBlock {
+		b.maxBlock = block
+	}
+}
+
+// AccessRange appends references to blocks [lo, lo+count).
+func (b *Builder) AccessRange(lo, count int64) {
+	for i := int64(0); i < count; i++ {
+		b.Access(lo + i)
+	}
+}
+
+// EndLeaf marks the most recent access as completing a base case. It
+// panics if no access has been made — a structural bug in the generator.
+func (b *Builder) EndLeaf() {
+	if len(b.blocks) == 0 {
+		panic("trace: EndLeaf before any access")
+	}
+	if !b.endsLeaf[len(b.endsLeaf)-1] {
+		b.endsLeaf[len(b.endsLeaf)-1] = true
+		b.leaves++
+	}
+}
+
+// Len reports the number of accesses recorded so far.
+func (b *Builder) Len() int { return len(b.blocks) }
+
+// Build freezes the builder into a Trace. The builder must not be used
+// afterwards.
+func (b *Builder) Build() *Trace {
+	t := &Trace{blocks: b.blocks, endsLeaf: b.endsLeaf, maxBlock: b.maxBlock, leaves: b.leaves}
+	b.blocks, b.endsLeaf = nil, nil
+	return t
+}
+
+// Len returns the number of references.
+func (t *Trace) Len() int { return len(t.blocks) }
+
+// Block returns the block referenced at position i.
+func (t *Trace) Block(i int) int64 { return t.blocks[i] }
+
+// EndsLeaf reports whether the access at position i completes a base case.
+func (t *Trace) EndsLeaf(i int) bool { return t.endsLeaf[i] }
+
+// MaxBlock returns the largest block ID referenced (0 for empty traces).
+func (t *Trace) MaxBlock() int64 { return t.maxBlock }
+
+// Leaves returns the number of base cases the trace completes.
+func (t *Trace) Leaves() int64 { return t.leaves }
+
+// DistinctBlocks counts the number of distinct blocks referenced.
+func (t *Trace) DistinctBlocks() int64 {
+	if len(t.blocks) == 0 {
+		return 0
+	}
+	seen := make([]bool, t.maxBlock+1)
+	var n int64
+	for _, blk := range t.blocks {
+		if !seen[blk] {
+			seen[blk] = true
+			n++
+		}
+	}
+	return n
+}
+
+// Slice returns the subtrace [lo, hi) as a view-copy (markers included).
+func (t *Trace) Slice(lo, hi int) (*Trace, error) {
+	if lo < 0 || hi < lo || hi > len(t.blocks) {
+		return nil, fmt.Errorf("trace: slice [%d,%d) out of range [0,%d)", lo, hi, len(t.blocks))
+	}
+	b := &Builder{}
+	for i := lo; i < hi; i++ {
+		b.Access(t.blocks[i])
+		if t.endsLeaf[i] {
+			b.EndLeaf()
+		}
+	}
+	return b.Build(), nil
+}
+
+// String summarises the trace.
+func (t *Trace) String() string {
+	return fmt.Sprintf("Trace{refs=%d, leaves=%d, maxBlock=%d}", t.Len(), t.leaves, t.maxBlock)
+}

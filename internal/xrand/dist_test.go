@@ -1,0 +1,240 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// sampleTail estimates Pr[X >= x] by sampling.
+func sampleTail(t *testing.T, d Dist, x int64, trials int) float64 {
+	t.Helper()
+	s := New(1234)
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if d.Sample(s) >= x {
+			hits++
+		}
+	}
+	return float64(hits) / float64(trials)
+}
+
+// sampleMeanBoundedPow estimates E[min(X,n)^e] by sampling.
+func sampleMeanBoundedPow(t *testing.T, d Dist, n int64, e float64, trials int) float64 {
+	t.Helper()
+	s := New(987)
+	total := 0.0
+	for i := 0; i < trials; i++ {
+		v := d.Sample(s)
+		if v > n {
+			v = n
+		}
+		total += math.Pow(float64(v), e)
+	}
+	return total / float64(trials)
+}
+
+func approxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol*math.Max(1, math.Abs(b)) }
+
+func TestUniformValidation(t *testing.T) {
+	if _, err := NewUniform(0, 5); err == nil {
+		t.Error("lo=0 accepted")
+	}
+	if _, err := NewUniform(5, 4); err == nil {
+		t.Error("hi<lo accepted")
+	}
+	if _, err := NewUniform(1, 1); err != nil {
+		t.Errorf("degenerate uniform rejected: %v", err)
+	}
+}
+
+func TestUniformMoments(t *testing.T) {
+	u, err := NewUniform(4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := u.Mean(), 34.0; got != want {
+		t.Errorf("mean = %g, want %g", got, want)
+	}
+	if got := sampleTail(t, u, 32, 100000); !approxEq(got, u.TailProb(32), 0.05) {
+		t.Errorf("sampled tail %g vs analytic %g", got, u.TailProb(32))
+	}
+	if got := sampleMeanBoundedPow(t, u, 16, 1.5, 100000); !approxEq(got, u.MeanBoundedPow(16, 1.5), 0.02) {
+		t.Errorf("sampled m_n %g vs analytic %g", got, u.MeanBoundedPow(16, 1.5))
+	}
+}
+
+func TestUniformTailEdges(t *testing.T) {
+	u, _ := NewUniform(4, 64)
+	if u.TailProb(4) != 1 {
+		t.Error("TailProb at lo should be 1")
+	}
+	if u.TailProb(1) != 1 {
+		t.Error("TailProb below lo should be 1")
+	}
+	if u.TailProb(65) != 0 {
+		t.Error("TailProb above hi should be 0")
+	}
+	if u.TailProb(64) <= 0 {
+		t.Error("TailProb at hi should be positive")
+	}
+}
+
+func TestTwoPointValidation(t *testing.T) {
+	if _, err := NewTwoPoint(0, 5, 0.5); err == nil {
+		t.Error("small=0 accepted")
+	}
+	if _, err := NewTwoPoint(8, 4, 0.5); err == nil {
+		t.Error("big<small accepted")
+	}
+	if _, err := NewTwoPoint(4, 8, 1.5); err == nil {
+		t.Error("p>1 accepted")
+	}
+}
+
+func TestTwoPointMoments(t *testing.T) {
+	tp, err := NewTwoPoint(4, 1024, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMean := 0.99*4 + 0.01*1024
+	if !approxEq(tp.Mean(), wantMean, 1e-12) {
+		t.Errorf("mean %g want %g", tp.Mean(), wantMean)
+	}
+	if got := sampleTail(t, tp, 1024, 200000); !approxEq(got, 0.01, 0.15) {
+		t.Errorf("sampled tail at big %g want ~0.01", got)
+	}
+	if tp.TailProb(4) != 1 || tp.TailProb(5) != 0.01 || tp.TailProb(2000) != 0 {
+		t.Errorf("tail probs wrong: %g %g %g", tp.TailProb(4), tp.TailProb(5), tp.TailProb(2000))
+	}
+}
+
+func TestPowerLawValidation(t *testing.T) {
+	if _, err := NewPowerLaw(1, 4, 0.5); err == nil {
+		t.Error("base=1 accepted")
+	}
+	if _, err := NewPowerLaw(4, -1, 0.5); err == nil {
+		t.Error("kMax<0 accepted")
+	}
+	if _, err := NewPowerLaw(4, 4, 0); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+}
+
+func TestPowerLawSupport(t *testing.T) {
+	p, err := NewPowerLaw(4, 5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(31)
+	for i := 0; i < 10000; i++ {
+		v := p.Sample(s)
+		// Must be a power of 4 between 1 and 4^5.
+		ok := false
+		for k := int64(1); k <= 1024; k *= 4 {
+			if v == k {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("sample %d not a power of 4 in range", v)
+		}
+	}
+}
+
+func TestPowerLawMomentsAgree(t *testing.T) {
+	p, err := NewPowerLaw(4, 6, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sampleTail(t, p, 64, 200000); !approxEq(got, p.TailProb(64), 0.05) {
+		t.Errorf("tail: sampled %g analytic %g", got, p.TailProb(64))
+	}
+	if got := sampleMeanBoundedPow(t, p, 256, 1.5, 200000); !approxEq(got, p.MeanBoundedPow(256, 1.5), 0.05) {
+		t.Errorf("m_n: sampled %g analytic %g", got, p.MeanBoundedPow(256, 1.5))
+	}
+}
+
+func TestEmpiricalValidation(t *testing.T) {
+	if _, err := NewEmpirical("x", nil); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := NewEmpirical("x", []int64{3, 0}); err == nil {
+		t.Error("zero size accepted")
+	}
+}
+
+func TestEmpiricalMatchesMultiset(t *testing.T) {
+	sizes := []int64{1, 1, 4, 16, 16, 16, 64, 256}
+	e, err := NewEmpirical("test", sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Len() != len(sizes) {
+		t.Fatalf("Len = %d", e.Len())
+	}
+	// Tail at 16 = 5/8.
+	if got, want := e.TailProb(16), 5.0/8.0; got != want {
+		t.Errorf("TailProb(16) = %g want %g", got, want)
+	}
+	wantMean := (1.0 + 1 + 4 + 16 + 16 + 16 + 64 + 256) / 8.0
+	if !approxEq(e.Mean(), wantMean, 1e-12) {
+		t.Errorf("mean %g want %g", e.Mean(), wantMean)
+	}
+	if got := sampleTail(t, e, 64, 100000); !approxEq(got, 2.0/8.0, 0.05) {
+		t.Errorf("sampled tail %g want 0.25", got)
+	}
+}
+
+func TestEmpiricalDoesNotAliasInput(t *testing.T) {
+	sizes := []int64{5, 6, 7}
+	e, err := NewEmpirical("alias", sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes[0] = 9999
+	if e.TailProb(9999) != 0 {
+		t.Error("empirical aliased caller slice")
+	}
+}
+
+// Property: for any Dist, TailProb is non-increasing and MeanBoundedPow is
+// non-decreasing in n and bounded by Mean^... sanity invariants.
+func TestDistInvariants(t *testing.T) {
+	u, _ := NewUniform(2, 200)
+	tp, _ := NewTwoPoint(4, 4096, 0.05)
+	pl, _ := NewPowerLaw(2, 10, 0.6)
+	em, _ := NewEmpirical("e", []int64{3, 9, 27, 81})
+	dists := []Dist{u, tp, pl, em}
+
+	for _, d := range dists {
+		check := func(a, b uint16) bool {
+			x, y := int64(a)+1, int64(b)+1
+			if x > y {
+				x, y = y, x
+			}
+			if d.TailProb(x) < d.TailProb(y) {
+				return false // tail must be non-increasing
+			}
+			if d.MeanBoundedPow(x, 1.5) > d.MeanBoundedPow(y, 1.5)+1e-9 {
+				return false // bounded moment must be non-decreasing in n
+			}
+			return true
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", d.Name(), err)
+		}
+	}
+}
+
+func TestDistNamesNonEmpty(t *testing.T) {
+	u, _ := NewUniform(1, 2)
+	tp, _ := NewTwoPoint(1, 2, 0.5)
+	pl, _ := NewPowerLaw(2, 2, 1)
+	em, _ := NewEmpirical("", []int64{1})
+	for _, d := range []Dist{u, tp, pl, em} {
+		if d.Name() == "" {
+			t.Errorf("%T has empty name", d)
+		}
+	}
+}

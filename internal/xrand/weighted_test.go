@@ -1,0 +1,114 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWeightedValidation(t *testing.T) {
+	if _, err := NewWeighted("x", nil, nil); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := NewWeighted("x", []int64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := NewWeighted("x", []int64{0}, []float64{1}); err == nil {
+		t.Error("value 0 accepted")
+	}
+	if _, err := NewWeighted("x", []int64{1}, []float64{-1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := NewWeighted("x", []int64{1}, []float64{math.NaN()}); err == nil {
+		t.Error("NaN weight accepted")
+	}
+	if _, err := NewWeighted("x", []int64{3, 3}, []float64{1, 1}); err == nil {
+		t.Error("duplicate values accepted")
+	}
+}
+
+func TestWeightedMoments(t *testing.T) {
+	// Pr[1] = 0.5, Pr[4] = 0.25, Pr[16] = 0.25.
+	w, err := NewWeighted("w", []int64{1, 4, 16}, []float64{2, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := w.Mean(), 0.5*1+0.25*4+0.25*16; math.Abs(got-want) > 1e-12 {
+		t.Errorf("mean = %g, want %g", got, want)
+	}
+	if got, want := w.TailProb(4), 0.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("tail(4) = %g, want %g", got, want)
+	}
+	if got, want := w.TailProb(1), 1.0; got != want {
+		t.Errorf("tail(1) = %g", got)
+	}
+	if got := w.TailProb(17); got != 0 {
+		t.Errorf("tail(17) = %g", got)
+	}
+	// m_n at n=4, e=1.5: 0.5·1 + 0.25·8 + 0.25·8 = 4.5.
+	if got := w.MeanBoundedPow(4, 1.5); math.Abs(got-4.5) > 1e-12 {
+		t.Errorf("m_4 = %g, want 4.5", got)
+	}
+}
+
+func TestWeightedSamplingMatchesPMF(t *testing.T) {
+	w, _ := NewWeighted("w", []int64{2, 8, 32}, []float64{6, 3, 1})
+	src := New(55)
+	counts := map[int64]int{}
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		counts[w.Sample(src)]++
+	}
+	wantFrac := map[int64]float64{2: 0.6, 8: 0.3, 32: 0.1}
+	for v, frac := range wantFrac {
+		got := float64(counts[v]) / trials
+		if math.Abs(got-frac) > 0.01 {
+			t.Errorf("Pr[%d] sampled %.3f, want %.3f", v, got, frac)
+		}
+	}
+}
+
+func TestWorstCaseBoxDist(t *testing.T) {
+	// M_{8,4}(64): sizes 1,4,16,64 with multiplicities 512,64,8,1.
+	w, err := WorstCaseBoxDist(8, 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 512.0 + 64 + 8 + 1
+	if got, want := w.TailProb(4), 73.0/total; math.Abs(got-want) > 1e-12 {
+		t.Errorf("tail(4) = %g, want %g", got, want)
+	}
+	if got, want := w.TailProb(64), 1.0/total; math.Abs(got-want) > 1e-12 {
+		t.Errorf("tail(64) = %g, want %g", got, want)
+	}
+	if _, err := WorstCaseBoxDist(8, 4, 48); err == nil {
+		t.Error("non-power n accepted")
+	}
+	if _, err := WorstCaseBoxDist(8, 1, 4); err == nil {
+		t.Error("b=1 accepted")
+	}
+}
+
+func TestWorstCaseBoxDistMatchesMaterialisedProfile(t *testing.T) {
+	// The analytic distribution must equal the empirical distribution of
+	// the materialised profile's boxes. (Uses the multiplicity counts
+	// directly to stay independent of the profile package.)
+	w, _ := WorstCaseBoxDist(2, 2, 16) // sizes 1,2,4,8,16 mult 16,8,4,2,1
+	e, _ := NewEmpirical("m", []int64{
+		1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+		2, 2, 2, 2, 2, 2, 2, 2,
+		4, 4, 4, 4,
+		8, 8,
+		16,
+	})
+	for _, x := range []int64{1, 2, 3, 4, 8, 16, 17} {
+		if a, b := w.TailProb(x), e.TailProb(x); math.Abs(a-b) > 1e-12 {
+			t.Errorf("tail(%d): weighted %g vs empirical %g", x, a, b)
+		}
+	}
+	if math.Abs(w.Mean()-e.Mean()) > 1e-12 {
+		t.Errorf("means differ: %g vs %g", w.Mean(), e.Mean())
+	}
+	if math.Abs(w.MeanBoundedPow(4, 1)-e.MeanBoundedPow(4, 1)) > 1e-12 {
+		t.Error("bounded moments differ")
+	}
+}
