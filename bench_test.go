@@ -21,6 +21,7 @@ import (
 	"repro/internal/adaptivity"
 	"repro/internal/core"
 	"repro/internal/dp"
+	"repro/internal/engine"
 	"repro/internal/fft"
 	"repro/internal/gep"
 	"repro/internal/matrix"
@@ -439,5 +440,71 @@ func BenchmarkExecSpreadScans(b *testing.B) {
 		for !e.Done() {
 			e.Step(1 + rng.Int63n(512))
 		}
+	}
+}
+
+// BenchmarkEngineMap measures the engine's per-cell dispatch overhead on
+// no-op cells — the fixed cost every Monte-Carlo fan-out pays.
+func BenchmarkEngineMap(b *testing.B) {
+	b.ReportAllocs()
+	g := engine.NewGroup()
+	for i := 0; i < b.N; i++ {
+		if err := g.Map(256, func(_, _ int) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGapSampleFresh allocates a new executor per trial — the cost the
+// engine's per-worker executor cache avoids.
+func BenchmarkGapSampleFresh(b *testing.B) {
+	b.ReportAllocs()
+	n := profile.Pow(4, 5)
+	uni, err := xrand.NewUniform(4, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := adaptivity.GapSample(regular.MMScanSpec, n, uni, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGapSampleReused resets and reuses one executor across trials —
+// the engine worker's steady state.
+func BenchmarkGapSampleReused(b *testing.B) {
+	b.ReportAllocs()
+	n := profile.Pow(4, 5)
+	uni, err := xrand.NewUniform(4, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := regular.NewExec(regular.MMScanSpec, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := adaptivity.GapSampleExec(e, uni, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShuffleTo is BenchmarkShuffle without the per-trial profile
+// clone: shuffle into a reused buffer.
+func BenchmarkShuffleTo(b *testing.B) {
+	wc, err := profile.WorstCase(8, 4, profile.Pow(4, 6))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := xrand.New(1)
+	var buf []int64
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = smoothing.ShuffleTo(buf, wc, rng)
 	}
 }

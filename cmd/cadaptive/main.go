@@ -1,23 +1,27 @@
-// Command cadaptive runs the paper-reproduction experiments E1–E11 and
-// prints their tables.
+// Command cadaptive runs the paper-reproduction experiments E1–E11 and the
+// ablations A1–A7, and prints their tables.
 //
 // Usage:
 //
 //	cadaptive -list
 //	cadaptive -exp E3 -seed 1 -trials 20 -maxk 7
-//	cadaptive -exp all
+//	cadaptive -exp all -workers 8
+//	cadaptive -exp E3 -format json > BENCH_baseline.json
 //
-// Every run is deterministic in (-seed, -trials, -maxk); EXPERIMENTS.md was
-// generated with the defaults.
+// Every run is deterministic in (-seed, -trials, -maxk) — and only those:
+// table contents are byte-identical for any -workers value. EXPERIMENTS.md
+// was generated with the defaults.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 )
 
 func main() {
@@ -27,16 +31,23 @@ func main() {
 	}
 }
 
+// flagForField maps a ConfigError's field to the CLI flag that sets it.
+var flagForField = map[string]string{
+	"Trials": "-trials",
+	"MaxK":   "-maxk",
+}
+
 func run() error {
 	def := core.DefaultConfig()
 	var (
-		exp    = flag.String("exp", "all", "experiment ID (E1..E11) or \"all\"")
-		seed   = flag.Uint64("seed", def.Seed, "random seed (all experiments are deterministic in it)")
-		trials = flag.Int("trials", def.Trials, "Monte-Carlo trials per measurement")
-		maxK   = flag.Int("maxk", def.MaxK, "largest problem-size exponent (n up to 4^maxk)")
-		list   = flag.Bool("list", false, "list experiments and exit")
-		timing = flag.Bool("time", false, "print per-experiment wall time")
-		format = flag.String("format", "text", "output format: text | tsv")
+		exp     = flag.String("exp", "all", "experiment ID (E1..E11, A1..A7) or \"all\"")
+		seed    = flag.Uint64("seed", def.Seed, "random seed (all experiments are deterministic in it)")
+		trials  = flag.Int("trials", def.Trials, "Monte-Carlo trials per measurement")
+		maxK    = flag.Int("maxk", def.MaxK, "largest problem-size exponent (n up to 4^maxk)")
+		workers = flag.Int("workers", 0, "engine worker bound (0 = GOMAXPROCS); results do not depend on it")
+		list    = flag.Bool("list", false, "list experiments and ablations, then exit")
+		timing  = flag.Bool("time", false, "print per-experiment wall time and engine utilisation")
+		format  = flag.String("format", "text", "output format: text | tsv | json")
 	)
 	flag.Parse()
 
@@ -47,34 +58,64 @@ func run() error {
 		return nil
 	}
 
-	if *format != "text" && *format != "tsv" {
-		return fmt.Errorf("unknown format %q", *format)
+	if *format != "text" && *format != "tsv" && *format != "json" {
+		return fmt.Errorf("unknown format %q (want text, tsv or json)", *format)
 	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers %d < 0", *workers)
+	}
+	engine.SetSharedWorkers(*workers)
+
 	cfg := core.Config{Seed: *seed, Trials: *trials, MaxK: *maxK}
-	runOne := func(id string) error {
-		start := time.Now()
-		t, err := core.Run(id, cfg)
+	if err := cfg.Validate(); err != nil {
+		var ce *core.ConfigError
+		if errors.As(err, &ce) {
+			if f, ok := flagForField[ce.Field]; ok {
+				return fmt.Errorf("%s: %w", f, err)
+			}
+		}
+		return err
+	}
+
+	start := time.Now()
+	var tables []*core.Table
+	if *exp == "all" {
+		all, err := core.RunAll(cfg)
 		if err != nil {
 			return err
 		}
+		tables = all
+	} else {
+		t, err := core.Run(*exp, cfg)
+		if err != nil {
+			return err
+		}
+		tables = []*core.Table{t}
+	}
+	wall := time.Since(start)
+
+	if *format == "json" {
+		buf, err := core.NewSnapshot(cfg, tables, wall).MarshalIndentJSON()
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	for _, t := range tables {
 		if *format == "tsv" {
 			fmt.Println(t.FormatTSV())
 		} else {
 			fmt.Println(t.Format())
 		}
 		if *timing {
-			fmt.Printf("[%s took %.1fs]\n", id, time.Since(start).Seconds())
+			m := t.Metrics
+			fmt.Printf("[%s took %.1fs: %d cells on <=%d workers, utilisation %.0f%%]\n",
+				t.ID, m.WallSeconds, m.Cells, m.Workers, m.Utilisation*100)
 		}
-		return nil
 	}
-
-	if *exp == "all" {
-		for _, e := range core.Experiments() {
-			if err := runOne(e.ID); err != nil {
-				return err
-			}
-		}
-		return nil
+	if *timing {
+		fmt.Printf("[total %.1fs]\n", wall.Seconds())
 	}
-	return runOne(*exp)
+	return nil
 }

@@ -25,10 +25,8 @@ package adaptivity
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
+	"repro/internal/engine"
 	"repro/internal/paging"
 	"repro/internal/profile"
 	"repro/internal/regular"
@@ -72,8 +70,19 @@ func MeasureSymbolic(spec regular.Spec, n int64, src profile.Source, maxBoxes in
 	if err != nil {
 		return RunResult{}, err
 	}
+	return MeasureSymbolicExec(e, src, maxBoxes)
+}
+
+// MeasureSymbolicExec is MeasureSymbolic against a caller-owned executor,
+// which is Reset before the run. Engine workers use it to reuse one
+// executor's frame stack across every trial of the same (spec, n) instead
+// of allocating a fresh executor per cell. Any mode flags set on e
+// (strict scans, spread scans, ...) carry over.
+func MeasureSymbolicExec(e *regular.Exec, src profile.Source, maxBoxes int64) (RunResult, error) {
+	e.Reset()
+	spec, n := e.Spec(), e.N()
 	res := RunResult{Spec: spec, N: n}
-	err = e.Run(src.Next, maxBoxes, func(box, prog int64) {
+	err := e.Run(src.Next, maxBoxes, func(box, prog int64) {
 		res.Boxes++
 		res.BoundedPotential += spec.BoundedPotential(box, n)
 		res.Progress += prog
@@ -121,6 +130,40 @@ func GapOnProfile(spec regular.Spec, n int64, prof *profile.SquareProfile) (RunR
 	return MeasureSymbolic(spec, n, src, maxBoxes)
 }
 
+// GapOnBoxesExec is GapOnProfile over a raw box slice (cycled) with a
+// caller-owned executor and source — the fully allocation-light form for
+// engine workers that perturb profiles into per-worker scratch buffers.
+func GapOnBoxesExec(e *regular.Exec, src *profile.BoxesSource, boxes []int64) (RunResult, error) {
+	if err := src.Rebind(boxes); err != nil {
+		return RunResult{}, err
+	}
+	maxBoxes := int64(e.Spec().IOCost(e.N())) + 1
+	return MeasureSymbolicExec(e, src, maxBoxes)
+}
+
+// GapSample runs one Theorem-1 trial — spec on n blocks against i.i.d.
+// boxes from dist under the given seed — and returns the trial's gap. It
+// is the single-cell primitive the experiment engine fans out across
+// (size, trial) cells with xrand.Split-derived seeds.
+func GapSample(spec regular.Spec, n int64, dist xrand.Dist, seed uint64) (float64, error) {
+	e, err := regular.NewExec(spec, n)
+	if err != nil {
+		return 0, err
+	}
+	return GapSampleExec(e, dist, seed)
+}
+
+// GapSampleExec is GapSample against a caller-owned executor.
+func GapSampleExec(e *regular.Exec, dist xrand.Dist, seed uint64) (float64, error) {
+	rng := xrand.New(seed)
+	src := profile.FuncSource(func() int64 { return dist.Sample(rng) })
+	res, err := MeasureSymbolicExec(e, src, 0)
+	if err != nil {
+		return 0, err
+	}
+	return res.Gap(), nil
+}
+
 // GapOnDist runs `trials` independent executions of spec on n blocks with
 // i.i.d. box sizes from dist (Theorem 1's setting) and returns the per-trial
 // gaps. Each trial derives its own generator from seed, so the result is
@@ -130,14 +173,15 @@ func GapOnDist(spec regular.Spec, n int64, dist xrand.Dist, seed uint64, trials 
 		return nil, fmt.Errorf("adaptivity: trials = %d < 1", trials)
 	}
 	// Derive the per-trial generators serially (the derivation order is
-	// part of the contract), then run the trials in parallel.
+	// part of the contract), then run the trials on the shared engine pool.
 	root := xrand.New(seed)
 	rngs := make([]*xrand.Source, trials)
 	for t := range rngs {
 		rngs[t] = root.Split()
 	}
 	gaps := make([]float64, trials)
-	err := parallelTrials(trials, func(t int) error {
+	g := engine.NewGroup()
+	err := g.Map(trials, func(t, _ int) error {
 		rng := rngs[t]
 		src := profile.FuncSource(func() int64 { return dist.Sample(rng) })
 		res, err := MeasureSymbolic(spec, n, src, 0)
@@ -151,47 +195,6 @@ func GapOnDist(spec regular.Spec, n int64, dist xrand.Dist, seed uint64, trials 
 		return nil, err
 	}
 	return gaps, nil
-}
-
-// parallelTrials runs fn(0..trials-1) on up to GOMAXPROCS goroutines and
-// returns the lowest-indexed error. Each index is touched exactly once, so
-// writers into index-t slots need no locking.
-func parallelTrials(trials int, fn func(t int) error) error {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > trials {
-		workers = trials
-	}
-	if workers <= 1 {
-		for t := 0; t < trials; t++ {
-			if err := fn(t); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	errs := make([]error, trials)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				t := int(next.Add(1)) - 1
-				if t >= trials {
-					return
-				}
-				errs[t] = fn(t)
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // StoppingTimes holds Monte-Carlo estimates of the paper's f(n) (expected
@@ -221,31 +224,13 @@ func EstimateStoppingTimes(spec regular.Spec, n int64, dist xrand.Dist, seed uin
 	}
 	fs := make([]float64, trials)
 	fps := make([]float64, trials)
-	err := parallelTrials(trials, func(t int) error {
-		trialSeed := trialSeeds[t]
-
-		rng1 := xrand.New(trialSeed)
-		e, err := regular.NewExec(spec, n)
+	g := engine.NewGroup()
+	err := g.Map(trials, func(t, _ int) error {
+		f, fp, err := StoppingSample(spec, n, dist, trialSeeds[t])
 		if err != nil {
 			return err
 		}
-		for !e.Done() {
-			e.Step(dist.Sample(rng1))
-		}
-		fs[t] = float64(e.BoxesUsed())
-
-		rng2 := xrand.New(trialSeed)
-		ep, err := regular.NewExec(spec, n)
-		if err != nil {
-			return err
-		}
-		if err := ep.SetSkipRootScan(true); err != nil {
-			return err
-		}
-		for !ep.Done() {
-			ep.Step(dist.Sample(rng2))
-		}
-		fps[t] = float64(ep.BoxesUsed())
+		fs[t], fps[t] = f, fp
 		return nil
 	})
 	if err != nil {
@@ -265,6 +250,35 @@ func EstimateStoppingTimes(spec regular.Spec, n int64, dist xrand.Dist, seed uin
 		st.FPrimeSE = se(sumFp, sumFp2, tn)
 	}
 	return st, nil
+}
+
+// StoppingSample runs one common-random-numbers trial of the f/f'
+// estimators: the same box stream (seeded by trialSeed) drives one full
+// run (f) and one run that skips the root scan (f'). It is the single-cell
+// primitive behind EstimateStoppingTimes.
+func StoppingSample(spec regular.Spec, n int64, dist xrand.Dist, trialSeed uint64) (f, fPrime float64, err error) {
+	rng1 := xrand.New(trialSeed)
+	e, err := regular.NewExec(spec, n)
+	if err != nil {
+		return 0, 0, err
+	}
+	for !e.Done() {
+		e.Step(dist.Sample(rng1))
+	}
+	f = float64(e.BoxesUsed())
+
+	rng2 := xrand.New(trialSeed)
+	ep, err := regular.NewExec(spec, n)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := ep.SetSkipRootScan(true); err != nil {
+		return 0, 0, err
+	}
+	for !ep.Done() {
+		ep.Step(dist.Sample(rng2))
+	}
+	return f, float64(ep.BoxesUsed()), nil
 }
 
 func se(sum, sumSq, n float64) float64 {

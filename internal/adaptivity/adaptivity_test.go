@@ -1,12 +1,10 @@
 package adaptivity
 
 import (
-	"fmt"
 	"math"
-	"runtime"
-	"sync/atomic"
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/profile"
 	"repro/internal/regular"
 	"repro/internal/stats"
@@ -328,50 +326,19 @@ func TestEstimateStoppingTimesDeterministicUnderParallelism(t *testing.T) {
 	}
 }
 
-// Force the worker-pool path (this machine may have GOMAXPROCS=1, where
-// parallelTrials degrades to the serial loop) and check error propagation
-// and index coverage.
-func TestParallelTrialsPool(t *testing.T) {
-	old := runtime.GOMAXPROCS(4)
-	defer runtime.GOMAXPROCS(old)
+// Force the engine's worker-pool path (this machine may have GOMAXPROCS=1,
+// where the shared pool recruits no helpers) and check that Monte-Carlo
+// results do not depend on the worker count.
+func TestTrialsDeterministicAcrossWorkers(t *testing.T) {
+	defer engine.SetSharedWorkers(0)
 
-	const trials = 200
-	seen := make([]int32, trials)
-	err := parallelTrials(trials, func(i int) error {
-		atomic.AddInt32(&seen[i], 1)
-		return nil
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i, c := range seen {
-		if c != 1 {
-			t.Fatalf("index %d ran %d times", i, c)
-		}
-	}
-
-	// Errors: the lowest-indexed error must be returned.
-	wantErr := fmt.Errorf("boom-17")
-	err = parallelTrials(trials, func(i int) error {
-		if i == 17 {
-			return wantErr
-		}
-		if i == 99 {
-			return fmt.Errorf("boom-99")
-		}
-		return nil
-	})
-	if err == nil || err.Error() != "boom-17" {
-		t.Fatalf("err = %v, want boom-17", err)
-	}
-
-	// And the deterministic results must not depend on the worker count.
+	engine.SetSharedWorkers(4)
 	dist := mustUniform(t, 4, 64)
 	parallelGaps, err := GapOnDist(regular.MMScanSpec, 256, dist, 123, 24)
 	if err != nil {
 		t.Fatal(err)
 	}
-	runtime.GOMAXPROCS(1)
+	engine.SetSharedWorkers(1)
 	serialGaps, err := GapOnDist(regular.MMScanSpec, 256, dist, 123, 24)
 	if err != nil {
 		t.Fatal(err)
@@ -379,6 +346,30 @@ func TestParallelTrialsPool(t *testing.T) {
 	for i := range serialGaps {
 		if serialGaps[i] != parallelGaps[i] {
 			t.Fatalf("trial %d: serial %g vs parallel %g", i, serialGaps[i], parallelGaps[i])
+		}
+	}
+}
+
+// The single-trial primitives must agree with their batched counterparts
+// and be executor-reuse safe.
+func TestGapSampleMatchesExecReuse(t *testing.T) {
+	dist := mustUniform(t, 4, 64)
+	e, err := regular.NewExec(regular.MMScanSpec, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 8; trial++ {
+		seed := xrand.Split(99, "test", int64(trial))
+		fresh, err := GapSample(regular.MMScanSpec, 256, dist, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reused, err := GapSampleExec(e, dist, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fresh != reused {
+			t.Fatalf("trial %d: fresh exec %g vs reused exec %g", trial, fresh, reused)
 		}
 	}
 }

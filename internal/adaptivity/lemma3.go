@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/engine"
 	"repro/internal/regular"
 	"repro/internal/xrand"
 )
@@ -54,26 +55,40 @@ func CheckLemma3(spec regular.Spec, n int64, dist xrand.Dist, seed uint64, trial
 	res := Lemma3Result{Spec: spec, N: n, Trials: trials}
 
 	// f(n/b) and q: run the size-n/b subproblem and watch for >= n boxes.
+	// Generators are derived serially (the derivation order is part of the
+	// determinism contract); the trials themselves fan out on the engine.
 	child := n / spec.B
 	root := xrand.New(seed)
-	var sumF float64
-	var bigBoxTrials int
-	for t := 0; t < trials; t++ {
-		rng := root.Split()
+	rngs := make([]*xrand.Source, trials)
+	for t := range rngs {
+		rngs[t] = root.Split()
+	}
+	boxesUsed := make([]int64, trials)
+	sawBig := make([]bool, trials)
+	g := engine.NewGroup()
+	if err := g.Map(trials, func(t, _ int) error {
+		rng := rngs[t]
 		e, err := regular.NewExec(spec, child)
 		if err != nil {
-			return res, err
+			return err
 		}
-		sawBig := false
 		for !e.Done() {
 			box := dist.Sample(rng)
 			e.Step(box)
 			if box >= n {
-				sawBig = true
+				sawBig[t] = true
 			}
 		}
-		sumF += float64(e.BoxesUsed())
-		if sawBig {
+		boxesUsed[t] = e.BoxesUsed()
+		return nil
+	}); err != nil {
+		return res, err
+	}
+	var sumF float64
+	var bigBoxTrials int
+	for t := 0; t < trials; t++ {
+		sumF += float64(boxesUsed[t])
+		if sawBig[t] {
 			bigBoxTrials++
 		}
 	}
@@ -124,9 +139,6 @@ func CheckRecurrence(spec regular.Spec, sizes []int64, dist xrand.Dist, seed uin
 		return nil, 0, fmt.Errorf("adaptivity: recurrence check requires c = 1, got %v", spec)
 	}
 	e := spec.Exponent()
-	points := make([]RecurrencePoint, 0, len(sizes))
-	product := 1.0
-	var prev *RecurrencePoint
 	for i, n := range sizes {
 		if !spec.ValidSize(n) {
 			return nil, 0, fmt.Errorf("adaptivity: size %d not a power of b", n)
@@ -134,10 +146,29 @@ func CheckRecurrence(spec regular.Spec, sizes []int64, dist xrand.Dist, seed uin
 		if i > 0 && n != sizes[i-1]*spec.B {
 			return nil, 0, fmt.Errorf("adaptivity: sizes must be consecutive powers of b, got %d after %d", n, sizes[i-1])
 		}
-		st, err := EstimateStoppingTimes(spec, n, dist, seed+uint64(i)*7919, trials)
+	}
+
+	// Each size's stopping-time estimate is an independent Monte-Carlo job
+	// with its own derived seed, so the sizes fan out on the engine; the
+	// ratio pass below chains consecutive points and stays serial.
+	ests := make([]StoppingTimes, len(sizes))
+	g := engine.NewGroup()
+	if err := g.Map(len(sizes), func(i, _ int) error {
+		st, err := EstimateStoppingTimes(spec, sizes[i], dist, seed+uint64(i)*7919, trials)
 		if err != nil {
-			return nil, 0, err
+			return err
 		}
+		ests[i] = st
+		return nil
+	}); err != nil {
+		return nil, 0, err
+	}
+
+	points := make([]RecurrencePoint, 0, len(sizes))
+	product := 1.0
+	var prev *RecurrencePoint
+	for i, n := range sizes {
+		st := ests[i]
 		pt := RecurrencePoint{
 			N:      n,
 			F:      st.F,

@@ -5,24 +5,31 @@
 // formats their results as tables.
 //
 // Every experiment is deterministic in (Config.Seed, Config.Trials,
-// Config.MaxK); EXPERIMENTS.md records the expected shapes.
+// Config.MaxK); EXPERIMENTS.md records the expected shapes. Experiments
+// execute on the shared parallel engine (internal/engine): a full run fans
+// out across experiments, and the Monte-Carlo experiments fan out further
+// across (size, trial) cells with xrand.Split-derived per-cell seeds, so
+// the formatted text output is byte-identical for any worker count.
 package core
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
+
+	"repro/internal/engine"
 )
 
 // Config parameterises an experiment run.
 type Config struct {
 	// Seed drives all randomness; same seed, same tables.
-	Seed uint64
+	Seed uint64 `json:"seed"`
 	// Trials is the Monte-Carlo repetition count where sampling is needed.
-	Trials int
+	Trials int `json:"trials"`
 	// MaxK is the largest problem-size exponent: problems run up to
 	// n = b^MaxK (4^MaxK for the matrix-shaped experiments).
-	MaxK int
+	MaxK int `json:"max_k"`
 }
 
 // DefaultConfig returns the configuration the committed EXPERIMENTS.md
@@ -31,26 +38,60 @@ func DefaultConfig() Config {
 	return Config{Seed: 20200715, Trials: 20, MaxK: 7}
 }
 
-func (c Config) validate() error {
+// ConfigError reports an invalid Config field by name, so callers (the
+// cadaptive CLI in particular) can point at the flag that caused it.
+type ConfigError struct {
+	Field string // "Trials" or "MaxK"
+	Msg   string
+}
+
+func (e *ConfigError) Error() string { return "core: " + e.Msg }
+
+// Validate checks the configuration, returning a *ConfigError naming the
+// offending field when it is invalid.
+func (c Config) Validate() error {
 	if c.Trials < 1 {
-		return fmt.Errorf("core: trials %d < 1", c.Trials)
+		return &ConfigError{Field: "Trials", Msg: fmt.Sprintf("trials %d < 1", c.Trials)}
 	}
-	if c.MaxK < 3 {
-		return fmt.Errorf("core: maxK %d < 3 (experiments need at least a few sizes)", c.MaxK)
+	if c.MaxK < 4 {
+		// The slope-fit experiments sweep k = 3..MaxK and need >= 2 sizes.
+		return &ConfigError{Field: "MaxK", Msg: fmt.Sprintf("maxK %d < 4 (experiments fit slopes over k = 3..maxK and need at least two sizes)", c.MaxK)}
 	}
 	if c.MaxK > 9 {
-		return fmt.Errorf("core: maxK %d > 9 (worst-case profiles above 4^9 do not fit in memory)", c.MaxK)
+		return &ConfigError{Field: "MaxK", Msg: fmt.Sprintf("maxK %d > 9 (worst-case profiles above 4^9 do not fit in memory)", c.MaxK)}
 	}
 	return nil
 }
 
+// Metrics records how an experiment executed on the engine. It is
+// deliberately excluded from Format and FormatTSV so that text output
+// stays byte-identical across worker counts; the JSON snapshot carries it.
+type Metrics struct {
+	// WallSeconds is the experiment's wall-clock time.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Cells is the number of engine cells the experiment executed (0 for
+	// experiments that run entirely serially).
+	Cells int64 `json:"cells"`
+	// BusySeconds is cell execution time summed across workers.
+	BusySeconds float64 `json:"busy_seconds"`
+	// Workers is the engine's concurrency bound during the run.
+	Workers int `json:"workers"`
+	// Utilisation is BusySeconds / (WallSeconds × Workers) — the fraction
+	// of the worker-seconds the run had available that its cells actually
+	// used. Serial sections and scheduling overhead lower it.
+	Utilisation float64 `json:"utilisation"`
+}
+
 // Table is a formatted experiment result.
 type Table struct {
-	ID     string
-	Title  string
-	Note   string // provenance, fitted slopes, pass/fail summary
-	Header []string
-	Rows   [][]string
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Note   string     `json:"note,omitempty"` // provenance, fitted slopes, pass/fail summary
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	// Metrics is filled by Run/RunAll and the engine-backed runners; it is
+	// not part of the formatted text.
+	Metrics Metrics `json:"metrics"`
 }
 
 // AddRow appends a row of cells (converted with %v).
@@ -136,10 +177,32 @@ type Experiment struct {
 var registry = map[string]Experiment{}
 
 func register(e Experiment) {
+	if _, _, err := ParseID(e.ID); err != nil {
+		panic("core: invalid experiment ID " + e.ID)
+	}
 	if _, dup := registry[e.ID]; dup {
 		panic("core: duplicate experiment " + e.ID)
 	}
 	registry[e.ID] = e
+}
+
+// ParseID parses an experiment ID of the form E<n> (paper experiments) or
+// A<n> (ablations), n >= 1. Malformed IDs — "Axe", a bare "A", "E07x" —
+// are rejected rather than silently parsed as 0.
+func ParseID(id string) (kind byte, n int, err error) {
+	if len(id) < 2 || (id[0] != 'E' && id[0] != 'A') {
+		return 0, 0, fmt.Errorf("core: malformed experiment ID %q (want E<n> or A<n>)", id)
+	}
+	for i := 1; i < len(id); i++ {
+		if id[i] < '0' || id[i] > '9' {
+			return 0, 0, fmt.Errorf("core: malformed experiment ID %q (want E<n> or A<n>)", id)
+		}
+		n = n*10 + int(id[i]-'0')
+	}
+	if n < 1 {
+		return 0, 0, fmt.Errorf("core: malformed experiment ID %q (numbering starts at 1)", id)
+	}
+	return id[0], n, nil
 }
 
 // Experiments lists the registered experiments in ID order.
@@ -156,43 +219,84 @@ func Experiments() []Experiment {
 }
 
 func experimentOrder(id string) int {
-	var n int
-	if strings.HasPrefix(id, "A") {
-		fmt.Sscanf(id, "A%d", &n)
+	kind, n, err := ParseID(id)
+	if err != nil {
+		// register() guarantees registry IDs parse; any malformed ID sorts
+		// last so it is at least visible.
+		return 1 << 20
+	}
+	if kind == 'A' {
 		return 100 + n // ablations sort after the paper experiments
 	}
-	fmt.Sscanf(id, "E%d", &n)
 	return n
 }
 
-// Run executes the experiment with the given ID.
+// knownIDs returns every registered ID in display order, for error texts.
+func knownIDs() string {
+	ids := make([]string, 0, len(registry))
+	for _, ex := range Experiments() {
+		ids = append(ids, ex.ID)
+	}
+	return strings.Join(ids, ", ")
+}
+
+// Run executes the experiment with the given ID and records its Metrics
+// (wall time, engine cells, utilisation) on the returned table.
 func Run(id string, cfg Config) (*Table, error) {
-	if err := cfg.validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if _, _, err := ParseID(id); err != nil {
+		return nil, fmt.Errorf("core: unknown experiment %q: %w (have %s)", id, err, knownIDs())
 	}
 	e, ok := registry[id]
 	if !ok {
-		ids := make([]string, 0, len(registry))
-		for _, ex := range Experiments() {
-			ids = append(ids, ex.ID)
-		}
-		return nil, fmt.Errorf("core: unknown experiment %q (have %s)", id, strings.Join(ids, ", "))
+		return nil, fmt.Errorf("core: unknown experiment %q (have %s)", id, knownIDs())
 	}
-	return e.Run(cfg)
+	return runTimed(e, cfg)
 }
 
-// RunAll executes every experiment in order.
-func RunAll(cfg Config) ([]*Table, error) {
-	if err := cfg.validate(); err != nil {
+// runTimed executes one experiment and fills in its metrics. Each
+// experiment accounts against its own engine group (set up by the runner),
+// so per-experiment cell counts stay meaningful even when RunAll executes
+// many experiments concurrently on the shared pool.
+func runTimed(e Experiment, cfg Config) (*Table, error) {
+	workers := engine.Shared().Workers()
+	start := time.Now()
+	t, err := e.Run(cfg)
+	if err != nil {
 		return nil, err
 	}
-	var out []*Table
-	for _, e := range Experiments() {
-		t, err := e.Run(cfg)
+	wall := time.Since(start).Seconds()
+	t.Metrics.WallSeconds = wall
+	t.Metrics.Workers = workers
+	if wall > 0 {
+		t.Metrics.Utilisation = t.Metrics.BusySeconds / (wall * float64(workers))
+	}
+	return t, nil
+}
+
+// RunAll executes every experiment, fanning out across experiments on the
+// shared engine pool. Tables come back in ID order regardless of which
+// experiment finished first, and their contents are byte-identical to a
+// serial run; only the Metrics differ with the worker count.
+func RunAll(cfg Config) ([]*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	exps := Experiments()
+	out := make([]*Table, len(exps))
+	g := engine.NewGroup()
+	err := g.Map(len(exps), func(i, _ int) error {
+		t, err := runTimed(exps[i], cfg)
 		if err != nil {
-			return out, fmt.Errorf("core: %s: %w", e.ID, err)
+			return fmt.Errorf("core: %s: %w", exps[i].ID, err)
 		}
-		out = append(out, t)
+		out[i] = t
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

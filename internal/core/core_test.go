@@ -1,9 +1,14 @@
 package core
 
 import (
+	"errors"
+	"reflect"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/engine"
 )
 
 // testConfig keeps experiment tests fast; the committed EXPERIMENTS.md
@@ -34,26 +39,199 @@ func TestRegistryComplete(t *testing.T) {
 }
 
 func TestRunUnknown(t *testing.T) {
-	if _, err := Run("E99", testConfig()); err == nil {
-		t.Error("unknown experiment accepted")
+	for _, id := range []string{"E99", "A99", "E12", "A8"} {
+		_, err := Run(id, testConfig())
+		if err == nil {
+			t.Fatalf("%s: unknown experiment accepted", id)
+		}
+		if !strings.Contains(err.Error(), "unknown experiment") {
+			t.Errorf("%s: error %q does not say \"unknown experiment\"", id, err)
+		}
+	}
+}
+
+func TestRunMalformedID(t *testing.T) {
+	// Regression: these used to be Sscanf-parsed with the error ignored, so
+	// "Axe" fell through as A0 and produced a confusing lookup failure.
+	for _, id := range []string{"Axe", "A", "E", "e3", "A07x", "E-1", "", "all"} {
+		_, err := Run(id, testConfig())
+		if err == nil {
+			t.Fatalf("%q: malformed experiment ID accepted", id)
+		}
+		if !strings.Contains(err.Error(), "unknown experiment") {
+			t.Errorf("%q: error %q does not say \"unknown experiment\"", id, err)
+		}
+	}
+}
+
+func TestParseID(t *testing.T) {
+	for _, tc := range []struct {
+		id   string
+		kind byte
+		n    int
+		ok   bool
+	}{
+		{"E1", 'E', 1, true},
+		{"E11", 'E', 11, true},
+		{"A7", 'A', 7, true},
+		{"A0", 0, 0, false},
+		{"Axe", 0, 0, false},
+		{"A", 0, 0, false},
+		{"B3", 0, 0, false},
+		{"", 0, 0, false},
+	} {
+		kind, n, err := ParseID(tc.id)
+		if tc.ok != (err == nil) {
+			t.Errorf("ParseID(%q): err = %v, want ok = %v", tc.id, err, tc.ok)
+			continue
+		}
+		if tc.ok && (kind != tc.kind || n != tc.n) {
+			t.Errorf("ParseID(%q) = (%c, %d), want (%c, %d)", tc.id, kind, n, tc.kind, tc.n)
+		}
 	}
 }
 
 func TestConfigValidation(t *testing.T) {
-	bad := testConfig()
-	bad.Trials = 0
-	if _, err := Run("E1", bad); err == nil {
-		t.Error("0 trials accepted")
+	for _, tc := range []struct {
+		mutate func(*Config)
+		field  string
+	}{
+		{func(c *Config) { c.Trials = 0 }, "Trials"},
+		{func(c *Config) { c.MaxK = 3 }, "MaxK"}, // E3's slope fit needs two sizes
+		{func(c *Config) { c.MaxK = 15 }, "MaxK"},
+	} {
+		bad := testConfig()
+		tc.mutate(&bad)
+		_, err := Run("E1", bad)
+		if err == nil {
+			t.Fatalf("invalid %s accepted", tc.field)
+		}
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Fatalf("%v is not a *ConfigError", err)
+		}
+		if ce.Field != tc.field {
+			t.Errorf("ConfigError.Field = %q, want %q", ce.Field, tc.field)
+		}
 	}
-	bad = testConfig()
-	bad.MaxK = 2
-	if _, err := Run("E1", bad); err == nil {
-		t.Error("tiny MaxK accepted")
+	if err := testConfig().Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
 	}
-	bad = testConfig()
-	bad.MaxK = 15
-	if _, err := Run("E1", bad); err == nil {
-		t.Error("huge MaxK accepted")
+}
+
+// smallConfig is the cheapest legal configuration — used where the suite
+// runs RunAll repeatedly (determinism, JSON round-trip), including under
+// the race detector in scripts/ci.sh.
+func smallConfig() Config {
+	return Config{Seed: 7, Trials: 2, MaxK: 4}
+}
+
+func stripMetrics(tables []*Table) []*Table {
+	out := make([]*Table, len(tables))
+	for i, tb := range tables {
+		cp := *tb
+		cp.Metrics = Metrics{}
+		out[i] = &cp
+	}
+	return out
+}
+
+// TestRunAllDeterministicAcrossWorkers is the engine's core guarantee: the
+// tables a run produces — rows, notes, formatted text — are identical
+// whether one worker or many execute the cells. Only Metrics may differ.
+func TestRunAllDeterministicAcrossWorkers(t *testing.T) {
+	defer engine.SetSharedWorkers(0)
+	cfg := smallConfig()
+
+	engine.SetSharedWorkers(1)
+	serial, err := RunAll(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.SetSharedWorkers(4)
+	parallel, err := RunAll(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(serial) != len(parallel) {
+		t.Fatalf("table count differs: %d vs %d", len(serial), len(parallel))
+	}
+	s, p := stripMetrics(serial), stripMetrics(parallel)
+	for i := range s {
+		if !reflect.DeepEqual(s[i], p[i]) {
+			t.Errorf("%s: tables differ between 1 and 4 workers", serial[i].ID)
+		}
+		if got, want := p[i].Format(), s[i].Format(); got != want {
+			t.Errorf("%s: formatted text differs between 1 and 4 workers:\n--- 1 worker ---\n%s\n--- 4 workers ---\n%s", serial[i].ID, want, got)
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	cfg := smallConfig()
+	tb, err := Run("E1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := NewSnapshot(cfg, []*Table{tb}, 3*time.Second)
+	if snap.SchemaVersion != SnapshotSchemaVersion {
+		t.Fatalf("schema version %d", snap.SchemaVersion)
+	}
+	buf, err := snap.MarshalIndentJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSnapshot(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Config != cfg {
+		t.Errorf("config round-trip: %+v != %+v", back.Config, cfg)
+	}
+	if len(back.Experiments) != 1 {
+		t.Fatalf("%d experiments after round trip", len(back.Experiments))
+	}
+	if !reflect.DeepEqual(back.Experiments[0], tb) {
+		t.Errorf("table did not survive the round trip:\n%+v\n%+v", back.Experiments[0], tb)
+	}
+	if got, want := back.Experiments[0].Format(), tb.Format(); got != want {
+		t.Errorf("re-formatted table differs:\n%s\n%s", got, want)
+	}
+
+	// Version gating: a snapshot from a different schema must be rejected.
+	old := strings.Replace(string(buf), "\"schema_version\": 1", "\"schema_version\": 99", 1)
+	if _, err := ParseSnapshot([]byte(old)); err == nil {
+		t.Error("foreign schema version accepted")
+	}
+	if _, err := ParseSnapshot([]byte("{not json")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestRunFillsMetrics(t *testing.T) {
+	tb, err := Run("E3", smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := tb.Metrics
+	if m.WallSeconds <= 0 {
+		t.Errorf("WallSeconds = %g", m.WallSeconds)
+	}
+	if m.Workers < 1 {
+		t.Errorf("Workers = %d", m.Workers)
+	}
+	if m.Cells <= 0 {
+		t.Errorf("Cells = %d, want > 0 for an engine-backed experiment", m.Cells)
+	}
+	if m.BusySeconds <= 0 {
+		t.Errorf("BusySeconds = %g", m.BusySeconds)
+	}
+	// Metrics must not leak into the deterministic text formats.
+	for _, out := range []string{tb.Format(), tb.FormatTSV()} {
+		if strings.Contains(out, "utilisation") || strings.Contains(out, "wall_seconds") {
+			t.Errorf("metrics leaked into text output:\n%s", out)
+		}
 	}
 }
 

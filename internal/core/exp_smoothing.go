@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/adaptivity"
+	"repro/internal/engine"
 	"repro/internal/profile"
 	"repro/internal/regular"
 	"repro/internal/smoothing"
@@ -13,7 +14,9 @@ import (
 
 // This file implements the smoothing experiments: E3 (Theorem 1 — i.i.d.
 // box sizes close the gap) and E6–E8 (the three weaker smoothings that
-// fail).
+// fail). E3, E6 and E7 fan their Monte-Carlo cells out on the engine with
+// per-cell xrand.Split seeds, so their tables are identical for any worker
+// count; E8's trials are few and cheap enough to stay serial.
 
 func init() {
 	register(Experiment{
@@ -58,6 +61,31 @@ func (g *gapCurve) add(k int, gaps []float64) {
 
 func (g *gapCurve) slope() (stats.Fit, error) { return stats.LinearFit(g.ks, g.means) }
 
+// trimmedTrials caps the Monte-Carlo repetitions for the largest profile
+// sizes (k >= fromK), where materialised worst-case profiles have millions
+// of boxes and per-trial perturbation copies get memory-heavy.
+func trimmedTrials(trials, k, fromK int) int {
+	if k >= fromK && trials > 8 {
+		return 8
+	}
+	return trials
+}
+
+// worstCases materialises the M_{8,4}(4^k) worst-case profile for each
+// k = kMin..kMax once, up front and serially; the engine workers then share
+// them read-only.
+func worstCases(kMin, kMax int) (map[int]*profile.SquareProfile, error) {
+	wcs := make(map[int]*profile.SquareProfile, kMax-kMin+1)
+	for k := kMin; k <= kMax; k++ {
+		wc, err := profile.WorstCase(8, 4, profile.Pow(4, k))
+		if err != nil {
+			return nil, err
+		}
+		wcs[k] = wc
+	}
+	return wcs, nil
+}
+
 func runE3(cfg Config) (*Table, error) {
 	spec := regular.MMScanSpec
 	nMax := profile.Pow(4, cfg.MaxK)
@@ -85,19 +113,48 @@ func runE3(cfg Config) (*Table, error) {
 		Title:  "Theorem 1: expected gap under i.i.d. box sizes (and literal shuffles)",
 		Header: []string{"distribution", "k", "n", "mean gap", "ci95", "worst-case gap"},
 	}
+	g := engine.NewGroup()
+	workers := newWorkerStates(g)
+
+	// i.i.d. part: one engine cell per (distribution, size, trial), laid out
+	// row-major so each (distribution, k) group is a contiguous run of
+	// cfg.Trials results.
+	type iidCell struct{ d, k, trial int }
+	var cells []iidCell
+	for d := range dists {
+		for k := 3; k <= cfg.MaxK; k++ {
+			for trial := 0; trial < cfg.Trials; trial++ {
+				cells = append(cells, iidCell{d, k, trial})
+			}
+		}
+	}
+	gaps := make([]float64, len(cells))
+	if err := g.Map(len(cells), func(i, w int) error {
+		c := cells[i]
+		e, err := workers[w].exec(spec, profile.Pow(4, c.k))
+		if err != nil {
+			return err
+		}
+		seed := xrand.Split(cfg.Seed, "E3", int64(c.d), int64(c.k), int64(c.trial))
+		gap, err := adaptivity.GapSampleExec(e, dists[c.d], seed)
+		if err != nil {
+			return err
+		}
+		gaps[i] = gap
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	var notes []string
-	rng := xrand.New(cfg.Seed)
+	idx := 0
 	for _, d := range dists {
 		var curve gapCurve
 		for k := 3; k <= cfg.MaxK; k++ {
-			n := profile.Pow(4, k)
-			gaps, err := adaptivity.GapOnDist(spec, n, d, rng.Uint64(), cfg.Trials)
-			if err != nil {
-				return nil, err
-			}
-			curve.add(k, gaps)
-			s := stats.Summarize(gaps)
-			t.AddRow(d.Name(), k, n, s.Mean, s.CI95(), fmt.Sprintf("%d", k+1))
+			kGaps := gaps[idx : idx+cfg.Trials]
+			idx += cfg.Trials
+			curve.add(k, kGaps)
+			s := stats.Summarize(kGaps)
+			t.AddRow(d.Name(), k, profile.Pow(4, k), s.Mean, s.CI95(), fmt.Sprintf("%d", k+1))
 		}
 		fit, err := curve.slope()
 		if err != nil {
@@ -106,30 +163,47 @@ func runE3(cfg Config) (*Table, error) {
 		notes = append(notes, fmt.Sprintf("%s: slope %+.3f/level (worst case: +1.0)", d.Name(), fit.Beta))
 	}
 
-	// Literal shuffle of the adversary's own boxes.
-	var curve gapCurve
+	// Literal shuffle of the adversary's own boxes: the worst-case profiles
+	// are shared read-only; each cell shuffles into its worker's buffer.
+	wcs, err := worstCases(3, cfg.MaxK)
+	if err != nil {
+		return nil, err
+	}
+	type shCell struct{ k, trial int }
+	var shCells []shCell
 	for k := 3; k <= cfg.MaxK; k++ {
-		n := profile.Pow(4, k)
-		wc, err := profile.WorstCase(8, 4, n)
+		for trial := 0; trial < trimmedTrials(cfg.Trials, k, 7); trial++ {
+			shCells = append(shCells, shCell{k, trial})
+		}
+	}
+	shGaps := make([]float64, len(shCells))
+	if err := g.Map(len(shCells), func(i, w int) error {
+		c := shCells[i]
+		ws := workers[w]
+		e, err := ws.exec(spec, profile.Pow(4, c.k))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		var gaps []float64
-		trials := cfg.Trials
-		if k >= 7 && trials > 8 {
-			trials = 8 // shuffling multi-million-box profiles is memory-heavy
+		rng := xrand.New(xrand.Split(cfg.Seed, "E3/shuffle", int64(c.k), int64(c.trial)))
+		ws.buf = smoothing.ShuffleTo(ws.buf, wcs[c.k], rng)
+		res, err := ws.gapOnBoxes(e, ws.buf)
+		if err != nil {
+			return err
 		}
-		for trial := 0; trial < trials; trial++ {
-			sh := smoothing.Shuffle(wc, rng)
-			res, err := adaptivity.GapOnProfile(spec, n, sh)
-			if err != nil {
-				return nil, err
-			}
-			gaps = append(gaps, res.Gap())
-		}
-		curve.add(k, gaps)
-		s := stats.Summarize(gaps)
-		t.AddRow("shuffle(M_{8,4})", k, n, s.Mean, s.CI95(), fmt.Sprintf("%d", k+1))
+		shGaps[i] = res.Gap()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var curve gapCurve
+	idx = 0
+	for k := 3; k <= cfg.MaxK; k++ {
+		trials := trimmedTrials(cfg.Trials, k, 7)
+		kGaps := shGaps[idx : idx+trials]
+		idx += trials
+		curve.add(k, kGaps)
+		s := stats.Summarize(kGaps)
+		t.AddRow("shuffle(M_{8,4})", k, profile.Pow(4, k), s.Mean, s.CI95(), fmt.Sprintf("%d", k+1))
 	}
 	fit, err := curve.slope()
 	if err != nil {
@@ -137,6 +211,7 @@ func runE3(cfg Config) (*Table, error) {
 	}
 	notes = append(notes, fmt.Sprintf("shuffle(M_{8,4}): slope %+.3f/level", fit.Beta))
 	t.Note = joinNotes(notes)
+	finishMetrics(t, g)
 	return t, nil
 }
 
@@ -147,9 +222,52 @@ func runE6(cfg Config) (*Table, error) {
 		Title:  "Box-size perturbation |□|·X, X ~ U{1..t}: gap keeps growing",
 		Header: []string{"t", "k", "n", "mean gap", "ci95", "t<=sqrt(n)"},
 	}
-	rng := xrand.New(cfg.Seed ^ 0xe6)
+	factors := []int64{2, 4, 16}
+	wcs, err := worstCases(3, cfg.MaxK)
+	if err != nil {
+		return nil, err
+	}
+
+	g := engine.NewGroup()
+	workers := newWorkerStates(g)
+	type cell struct {
+		tf       int64
+		k, trial int
+	}
+	var cells []cell
+	for _, tf := range factors {
+		for k := 3; k <= cfg.MaxK; k++ {
+			for trial := 0; trial < trimmedTrials(cfg.Trials, k, 7); trial++ {
+				cells = append(cells, cell{tf, k, trial})
+			}
+		}
+	}
+	gaps := make([]float64, len(cells))
+	if err := g.Map(len(cells), func(i, w int) error {
+		c := cells[i]
+		ws := workers[w]
+		e, err := ws.exec(spec, profile.Pow(4, c.k))
+		if err != nil {
+			return err
+		}
+		rng := xrand.New(xrand.Split(cfg.Seed, "E6", c.tf, int64(c.k), int64(c.trial)))
+		ws.buf, err = smoothing.PerturbSizesTo(ws.buf, wcs[c.k], rng, c.tf)
+		if err != nil {
+			return err
+		}
+		res, err := ws.gapOnBoxes(e, ws.buf)
+		if err != nil {
+			return err
+		}
+		gaps[i] = res.Gap()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
 	var notes []string
-	for _, tf := range []int64{2, 4, 16} {
+	idx := 0
+	for _, tf := range factors {
 		// The paper's condition is t <= √n, i.e. k >= 2·log_4(t); only
 		// those sizes enter the slope fit.
 		minValidK := 0
@@ -158,36 +276,18 @@ func runE6(cfg Config) (*Table, error) {
 		}
 		var curve gapCurve
 		for k := 3; k <= cfg.MaxK; k++ {
-			n := profile.Pow(4, k)
-			wc, err := profile.WorstCase(8, 4, n)
-			if err != nil {
-				return nil, err
-			}
-			var gaps []float64
-			trials := cfg.Trials
-			if k >= 7 && trials > 8 {
-				trials = 8
-			}
-			for trial := 0; trial < trials; trial++ {
-				pp, err := smoothing.PerturbSizes(wc, rng, tf)
-				if err != nil {
-					return nil, err
-				}
-				res, err := adaptivity.GapOnProfile(spec, n, pp)
-				if err != nil {
-					return nil, err
-				}
-				gaps = append(gaps, res.Gap())
-			}
+			trials := trimmedTrials(cfg.Trials, k, 7)
+			kGaps := gaps[idx : idx+trials]
+			idx += trials
 			if k >= minValidK {
-				curve.add(k, gaps)
+				curve.add(k, kGaps)
 			}
-			s := stats.Summarize(gaps)
+			s := stats.Summarize(kGaps)
 			valid := "yes"
 			if k < minValidK {
 				valid = "no (t>√n)"
 			}
-			t.AddRow(tf, k, n, s.Mean, s.CI95(), valid)
+			t.AddRow(tf, k, profile.Pow(4, k), s.Mean, s.CI95(), valid)
 		}
 		if len(curve.ks) < 2 {
 			notes = append(notes, fmt.Sprintf("t=%d: too few t<=√n sizes at this MaxK for a slope fit", tf))
@@ -200,6 +300,7 @@ func runE6(cfg Config) (*Table, error) {
 		notes = append(notes, fmt.Sprintf("t=%d: slope %+.3f/level over the t<=√n sizes (worst case: +1.0; any persistent positive slope = still worst-case in expectation)", tf, fit.Beta))
 	}
 	t.Note = joinNotes(notes)
+	finishMetrics(t, g)
 	return t, nil
 }
 
@@ -210,39 +311,59 @@ func runE7(cfg Config) (*Table, error) {
 		Title:  "Start-time perturbation (random cyclic shift): expected gap stays logarithmic",
 		Header: []string{"k", "n", "mean gap", "ci95", "min", "max", "worst-case gap"},
 	}
-	rng := xrand.New(cfg.Seed ^ 0xe7)
-	var curve gapCurve
+	wcs, err := worstCases(3, cfg.MaxK)
+	if err != nil {
+		return nil, err
+	}
+
+	g := engine.NewGroup()
+	workers := newWorkerStates(g)
+	type cell struct{ k, trial int }
+	var cells []cell
 	for k := 3; k <= cfg.MaxK; k++ {
-		n := profile.Pow(4, k)
-		wc, err := profile.WorstCase(8, 4, n)
+		for trial := 0; trial < trimmedTrials(cfg.Trials, k, 7); trial++ {
+			cells = append(cells, cell{k, trial})
+		}
+	}
+	gaps := make([]float64, len(cells))
+	if err := g.Map(len(cells), func(i, w int) error {
+		c := cells[i]
+		ws := workers[w]
+		e, err := ws.exec(spec, profile.Pow(4, c.k))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		var gaps []float64
-		trials := cfg.Trials
-		if k >= 7 && trials > 8 {
-			trials = 8
+		rng := xrand.New(xrand.Split(cfg.Seed, "E7", int64(c.k), int64(c.trial)))
+		ws.buf, err = smoothing.RandomRotationTo(ws.buf, wcs[c.k], rng)
+		if err != nil {
+			return err
 		}
-		for trial := 0; trial < trials; trial++ {
-			rp, err := smoothing.RandomRotation(wc, rng)
-			if err != nil {
-				return nil, err
-			}
-			res, err := adaptivity.GapOnProfile(spec, n, rp)
-			if err != nil {
-				return nil, err
-			}
-			gaps = append(gaps, res.Gap())
+		res, err := ws.gapOnBoxes(e, ws.buf)
+		if err != nil {
+			return err
 		}
-		curve.add(k, gaps)
-		s := stats.Summarize(gaps)
-		t.AddRow(k, n, s.Mean, s.CI95(), s.Min, s.Max, fmt.Sprintf("%d", k+1))
+		gaps[i] = res.Gap()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	var curve gapCurve
+	idx := 0
+	for k := 3; k <= cfg.MaxK; k++ {
+		trials := trimmedTrials(cfg.Trials, k, 7)
+		kGaps := gaps[idx : idx+trials]
+		idx += trials
+		curve.add(k, kGaps)
+		s := stats.Summarize(kGaps)
+		t.AddRow(k, profile.Pow(4, k), s.Mean, s.CI95(), s.Min, s.Max, fmt.Sprintf("%d", k+1))
 	}
 	fit, err := curve.slope()
 	if err != nil {
 		return nil, err
 	}
 	t.Note = fmt.Sprintf("slope %+.3f/level: the expected gap keeps growing — random start times do not smooth the adversary.", fit.Beta)
+	finishMetrics(t, g)
 	return t, nil
 }
 

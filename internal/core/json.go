@@ -1,0 +1,61 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// SnapshotSchemaVersion identifies the JSON layout emitted by cadaptive
+// -format json. Bump it on any breaking change to Snapshot, Table, or
+// Metrics field names so committed BENCH_*.json files stay interpretable.
+const SnapshotSchemaVersion = 1
+
+// Snapshot is the versioned, machine-readable result of a run — the format
+// committed as BENCH_*.json to track the perf trajectory. Rows are carried
+// as the same formatted strings the text output prints, so a snapshot
+// round-trips losslessly: unmarshalling and re-formatting reproduces the
+// byte-identical tables.
+type Snapshot struct {
+	SchemaVersion int    `json:"schema_version"`
+	GeneratedAt   string `json:"generated_at,omitempty"` // RFC 3339; empty in deterministic comparisons
+	Config        Config `json:"config"`
+	// TotalWallSeconds is the wall time of the whole run, which on a
+	// multicore box is less than the sum of per-experiment wall times.
+	TotalWallSeconds float64  `json:"total_wall_seconds"`
+	Experiments      []*Table `json:"experiments"`
+}
+
+// NewSnapshot assembles a snapshot from a run's tables.
+func NewSnapshot(cfg Config, tables []*Table, totalWall time.Duration) *Snapshot {
+	return &Snapshot{
+		SchemaVersion:    SnapshotSchemaVersion,
+		GeneratedAt:      time.Now().UTC().Format(time.RFC3339),
+		Config:           cfg,
+		TotalWallSeconds: totalWall.Seconds(),
+		Experiments:      tables,
+	}
+}
+
+// MarshalIndentJSON renders the snapshot as indented JSON with a trailing
+// newline, ready to write to a BENCH_*.json file or stdout.
+func (s *Snapshot) MarshalIndentJSON() ([]byte, error) {
+	buf, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+// ParseSnapshot unmarshals and version-checks a snapshot.
+func ParseSnapshot(data []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("core: invalid snapshot: %w", err)
+	}
+	if s.SchemaVersion != SnapshotSchemaVersion {
+		return nil, fmt.Errorf("core: snapshot schema version %d, this build reads %d",
+			s.SchemaVersion, SnapshotSchemaVersion)
+	}
+	return &s, nil
+}

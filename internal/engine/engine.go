@@ -1,0 +1,160 @@
+// Package engine provides the shared parallel experiment engine: a bounded
+// worker pool over which experiments fan out — across experiments in a full
+// run, and within an experiment across (size, trial) cells — with results
+// written into caller-indexed slots so that output is byte-identical to a
+// serial run for any worker count.
+//
+// Determinism is by construction, not by scheduling: every cell owns a
+// deterministic seed (derived up front, typically via xrand.Split) and a
+// dedicated result slot, so the schedule order can be arbitrary. The pool
+// only bounds *how many* cells run at once, never *which* value a cell
+// computes.
+//
+// The pool is deadlock-free under nesting. A Map call always executes cells
+// on its own calling goroutine (worker 0) and merely *tries* to recruit
+// extra workers from the pool's token bucket; if the pool is saturated —
+// for example because an experiment running inside an outer Map calls an
+// inner Map — the inner call degrades to a serial loop on its caller
+// instead of waiting on tokens held by its ancestors.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pool is a bounded token bucket limiting how many cells execute
+// concurrently across every Map that draws from it. A pool with W workers
+// allows the calling goroutine plus up to W-1 recruited helpers.
+type Pool struct {
+	workers int
+	tokens  chan struct{}
+}
+
+// New returns a pool allowing up to `workers` concurrently executing cells.
+// workers < 1 selects runtime.GOMAXPROCS(0).
+func New(workers int) *Pool {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: workers, tokens: make(chan struct{}, workers-1)}
+	for i := 0; i < workers-1; i++ {
+		p.tokens <- struct{}{}
+	}
+	return p
+}
+
+// Workers returns the pool's concurrency bound (including the caller).
+func (p *Pool) Workers() int { return p.workers }
+
+var (
+	sharedMu sync.Mutex
+	shared   *Pool
+)
+
+// Shared returns the process-wide pool used by the experiment runners. It
+// is sized to runtime.GOMAXPROCS(0) on first use; SetSharedWorkers resizes
+// it.
+func Shared() *Pool {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if shared == nil {
+		shared = New(0)
+	}
+	return shared
+}
+
+// SetSharedWorkers replaces the shared pool with one of the given size
+// (< 1 = GOMAXPROCS). In-flight Groups keep their old pool; new Groups see
+// the new bound. Intended for the CLI's -workers flag and for determinism
+// tests that pin the worker count.
+func SetSharedWorkers(workers int) {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	shared = New(workers)
+}
+
+// Group runs cell fan-outs on a pool and accounts for them: cells executed
+// and cumulative busy time, the raw material for per-experiment worker
+// utilisation. One Group per experiment run keeps the observability
+// per-experiment even while many experiments share one pool.
+type Group struct {
+	pool  *Pool
+	cells atomic.Int64
+	busy  atomic.Int64 // nanoseconds spent inside cell functions
+}
+
+// Group returns a new stats-collecting view of the pool.
+func (p *Pool) Group() *Group { return &Group{pool: p} }
+
+// NewGroup returns a Group on the shared pool.
+func NewGroup() *Group { return Shared().Group() }
+
+// Workers returns the underlying pool's concurrency bound.
+func (g *Group) Workers() int { return g.pool.workers }
+
+// Cells returns the number of cells executed through this group so far.
+func (g *Group) Cells() int64 { return g.cells.Load() }
+
+// Busy returns the cumulative wall time spent inside cell functions —
+// summed across workers, so Busy can exceed elapsed time on multicore.
+func (g *Group) Busy() time.Duration { return time.Duration(g.busy.Load()) }
+
+// Map runs fn(cell, worker) for every cell in [0, n) and returns the
+// lowest-indexed error (nil if none). The calling goroutine always
+// participates as worker 0; additional workers (1 .. Workers()-1) are
+// recruited only while pool tokens are free, so nested Maps never deadlock.
+// Worker indices are dense and stable for the duration of the call, so fn
+// may index per-worker scratch (executors, profile buffers) with them.
+//
+// Each cell index is claimed exactly once; fn must derive everything it
+// needs from its cell index (deterministic seeds included) and write only
+// to cell-indexed slots, which makes the result independent of both the
+// schedule and the worker count.
+func (g *Group) Map(n int, fn func(cell, worker int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	work := func(worker int) {
+		for {
+			cell := int(next.Add(1)) - 1
+			if cell >= n {
+				return
+			}
+			start := time.Now()
+			errs[cell] = fn(cell, worker)
+			g.busy.Add(int64(time.Since(start)))
+			g.cells.Add(1)
+		}
+	}
+	var wg sync.WaitGroup
+	p := g.pool
+	spawned := 0
+recruit:
+	for spawned+1 < p.workers && spawned+1 < n {
+		select {
+		case <-p.tokens:
+			spawned++
+			wg.Add(1)
+			go func(worker int) {
+				defer wg.Done()
+				defer func() { p.tokens <- struct{}{} }()
+				work(worker)
+			}(spawned)
+		default:
+			break recruit // pool saturated: run on the caller alone
+		}
+	}
+	work(0)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

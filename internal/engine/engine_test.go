@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapCoversEveryCellOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7} {
+		g := New(workers).Group()
+		const n = 1000
+		hits := make([]int32, n)
+		err := g.Map(n, func(cell, worker int) error {
+			if worker < 0 || worker >= workers {
+				return fmt.Errorf("worker %d out of [0,%d)", worker, workers)
+			}
+			atomic.AddInt32(&hits[cell], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: cell %d executed %d times", workers, i, h)
+			}
+		}
+		if g.Cells() != n {
+			t.Errorf("workers=%d: Cells() = %d, want %d", workers, g.Cells(), n)
+		}
+	}
+}
+
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) []int {
+		g := New(workers).Group()
+		out := make([]int, 500)
+		if err := g.Map(len(out), func(cell, _ int) error {
+			out[cell] = cell*cell + 1
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	base := run(1)
+	for _, w := range []int{2, 4, 16} {
+		got := run(w)
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", w, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+func TestMapReturnsLowestIndexedError(t *testing.T) {
+	g := New(4).Group()
+	sentinel3 := errors.New("cell 3")
+	sentinel7 := errors.New("cell 7")
+	err := g.Map(16, func(cell, _ int) error {
+		switch cell {
+		case 3:
+			return sentinel3
+		case 7:
+			return sentinel7
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel3) {
+		t.Fatalf("got %v, want the lowest-indexed error", err)
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	g := New(workers).Group()
+	var cur, peak atomic.Int64
+	err := g.Map(200, func(cell, _ int) error {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		for i := 0; i < 1000; i++ {
+			_ = i * i
+		}
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent cells, bound is %d", p, workers)
+	}
+}
+
+// TestNestedMapDoesNotDeadlock exercises the saturation path: outer cells
+// hold every pool token while each runs an inner Map on the same pool.
+func TestNestedMapDoesNotDeadlock(t *testing.T) {
+	p := New(4)
+	outer := p.Group()
+	var total atomic.Int64
+	err := outer.Map(8, func(cell, _ int) error {
+		inner := p.Group()
+		return inner.Map(50, func(c, _ int) error {
+			total.Add(1)
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() != 8*50 {
+		t.Fatalf("inner cells executed %d times, want %d", total.Load(), 8*50)
+	}
+}
+
+func TestSharedPoolResize(t *testing.T) {
+	SetSharedWorkers(2)
+	if w := Shared().Workers(); w != 2 {
+		t.Fatalf("shared workers = %d, want 2", w)
+	}
+	SetSharedWorkers(0) // back to GOMAXPROCS
+	if w := Shared().Workers(); w < 1 {
+		t.Fatalf("shared workers = %d, want >= 1", w)
+	}
+}
+
+func TestGroupBusyAccounting(t *testing.T) {
+	g := New(2).Group()
+	if err := g.Map(10, func(cell, _ int) error {
+		s := 0
+		for i := 0; i < 10000; i++ {
+			s += i
+		}
+		_ = s
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if g.Busy() <= 0 {
+		t.Error("Busy() did not accumulate")
+	}
+}

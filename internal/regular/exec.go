@@ -225,6 +225,12 @@ func (e *Exec) SetSpreadScans(spread bool) error {
 	return nil
 }
 
+// Spec returns the (a,b,c) specification the executor runs.
+func (e *Exec) Spec() Spec { return e.spec }
+
+// N returns the problem size in blocks.
+func (e *Exec) N() int64 { return e.n }
+
 // Done reports whether the root problem has completed.
 func (e *Exec) Done() bool { return e.done }
 

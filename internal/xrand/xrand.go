@@ -33,6 +33,27 @@ func (s *Source) Split() *Source {
 	return &Source{state: mix(s.Uint64() ^ 0x9e3779b97f4a7c15)}
 }
 
+// Split (the package-level function) derives a deterministic, statistically
+// independent seed for the cell named by (id, parts...) under the root
+// seed. It is the seeding scheme of the parallel experiment engine: a cell
+// identified by, say, ("E3", distribution, k, trial) always receives the
+// same seed regardless of how many workers run or in what order cells are
+// scheduled, which is what makes parallel output byte-identical to serial.
+//
+// Unlike (*Source).Split, no generator state is consumed: the derivation is
+// a pure function of its arguments.
+func Split(seed uint64, id string, parts ...int64) uint64 {
+	h := mix(seed ^ 0x243f6a8885a308d3) // 2^62·π — domain-separate from raw seeds
+	h = mix(h ^ uint64(len(id)))
+	for i := 0; i < len(id); i++ {
+		h = mix(h ^ uint64(id[i])*0x100000001b3)
+	}
+	for _, p := range parts {
+		h = mix((h + 0x9e3779b97f4a7c15) ^ uint64(p))
+	}
+	return h
+}
+
 // Uint64 returns the next 64 uniformly random bits.
 func (s *Source) Uint64() uint64 {
 	s.state += 0x9e3779b97f4a7c15

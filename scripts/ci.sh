@@ -1,0 +1,27 @@
+#!/bin/sh
+# CI gate: vet, build, full test suite, then a race-detector pass over the
+# concurrency-sensitive packages (the engine and everything that fans out on
+# it), including the worker-count determinism test. Run from the repo root:
+#
+#   ./scripts/ci.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (short) =="
+go test -race -short \
+    ./internal/engine/ \
+    ./internal/adaptivity/ \
+    ./internal/core/ \
+    -run 'TestMap|TestNested|TestShared|TestGroup|TestTrialsDeterministicAcrossWorkers|TestRunAllDeterministicAcrossWorkers'
+
+echo "CI OK"
