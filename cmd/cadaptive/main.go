@@ -14,9 +14,11 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -25,7 +27,7 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "cadaptive:", err)
 		os.Exit(1)
 	}
@@ -37,23 +39,29 @@ var flagForField = map[string]string{
 	"MaxK":   "-maxk",
 }
 
-func run() error {
+// run is the whole CLI behind main: flags in, formatted tables out on
+// stdout. It takes its arguments and output stream explicitly so the
+// end-to-end golden test can execute the real CLI path in-process.
+func run(args []string, stdout io.Writer) error {
 	def := core.DefaultConfig()
+	fs := flag.NewFlagSet("cadaptive", flag.ContinueOnError)
 	var (
-		exp     = flag.String("exp", "all", "experiment ID (E1..E11, A1..A7) or \"all\"")
-		seed    = flag.Uint64("seed", def.Seed, "random seed (all experiments are deterministic in it)")
-		trials  = flag.Int("trials", def.Trials, "Monte-Carlo trials per measurement")
-		maxK    = flag.Int("maxk", def.MaxK, "largest problem-size exponent (n up to 4^maxk)")
-		workers = flag.Int("workers", 0, "engine worker bound (0 = GOMAXPROCS); results do not depend on it")
-		list    = flag.Bool("list", false, "list experiments and ablations, then exit")
-		timing  = flag.Bool("time", false, "print per-experiment wall time and engine utilisation")
-		format  = flag.String("format", "text", "output format: text | tsv | json")
+		exp     = fs.String("exp", "all", "experiment ID (E1..E11, A1..A7) or \"all\"")
+		seed    = fs.Uint64("seed", def.Seed, "random seed (all experiments are deterministic in it)")
+		trials  = fs.Int("trials", def.Trials, "Monte-Carlo trials per measurement")
+		maxK    = fs.Int("maxk", def.MaxK, "largest problem-size exponent (n up to 4^maxk)")
+		workers = fs.Int("workers", 0, "engine worker bound (0 = GOMAXPROCS); results do not depend on it")
+		list    = fs.Bool("list", false, "list experiments and ablations, then exit")
+		timing  = fs.Bool("time", false, "print per-experiment wall time and engine utilisation")
+		format  = fs.String("format", "text", "output format: text | tsv | json")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
 		for _, e := range core.Experiments() {
-			fmt.Printf("%-4s %-40s %s\n", e.ID, e.Source, e.Summary)
+			fmt.Fprintf(stdout, "%-4s %-40s %s\n", e.ID, e.Source, e.Summary)
 		}
 		return nil
 	}
@@ -77,16 +85,20 @@ func run() error {
 		return err
 	}
 
+	// The CLI and the cadaptived service share core.RunContext /
+	// RunAllContext as their only run entry points, so the two front-ends
+	// cannot drift apart in what a given (experiment, config, seed) means.
+	ctx := context.Background()
 	start := time.Now()
 	var tables []*core.Table
 	if *exp == "all" {
-		all, err := core.RunAll(cfg)
+		all, err := core.RunAllContext(ctx, cfg)
 		if err != nil {
 			return err
 		}
 		tables = all
 	} else {
-		t, err := core.Run(*exp, cfg)
+		t, err := core.RunContext(ctx, *exp, cfg)
 		if err != nil {
 			return err
 		}
@@ -99,23 +111,23 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		_, err = os.Stdout.Write(buf)
+		_, err = stdout.Write(buf)
 		return err
 	}
 	for _, t := range tables {
 		if *format == "tsv" {
-			fmt.Println(t.FormatTSV())
+			fmt.Fprintln(stdout, t.FormatTSV())
 		} else {
-			fmt.Println(t.Format())
+			fmt.Fprintln(stdout, t.Format())
 		}
 		if *timing {
 			m := t.Metrics
-			fmt.Printf("[%s took %.1fs: %d cells on <=%d workers, utilisation %.0f%%]\n",
+			fmt.Fprintf(stdout, "[%s took %.1fs: %d cells on <=%d workers, utilisation %.0f%%]\n",
 				t.ID, m.WallSeconds, m.Cells, m.Workers, m.Utilisation*100)
 		}
 	}
 	if *timing {
-		fmt.Printf("[total %.1fs]\n", wall.Seconds())
+		fmt.Fprintf(stdout, "[total %.1fs]\n", wall.Seconds())
 	}
 	return nil
 }

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from the current output")
+
+// smokeArgs is the cheap deterministic configuration the golden file was
+// generated with (E1 is pure construction: no Monte-Carlo, milliseconds).
+var smokeArgs = []string{"-exp", "E1", "-seed", "7", "-trials", "2", "-maxk", "4", "-format", "json"}
+
+// normalizeSnapshot zeroes the run-dependent parts — timestamp, wall times,
+// engine metrics — leaving exactly the deterministic content the schema
+// promises.
+func normalizeSnapshot(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	snap, err := core.ParseSnapshot(raw)
+	if err != nil {
+		t.Fatalf("CLI JSON output is not a valid snapshot: %v", err)
+	}
+	snap.GeneratedAt = ""
+	snap.TotalWallSeconds = 0
+	for _, tb := range snap.Experiments {
+		tb.Metrics = core.Metrics{}
+	}
+	out, err := snap.MarshalIndentJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestGoldenJSONOutput runs the real CLI path end to end (`cadaptive -exp
+// E1 -format json`) and byte-compares the metrics-stripped snapshot against
+// a committed golden file. Any drift in the JSON schema — renamed fields,
+// changed formatting, a schema-version bump without regenerating goldens —
+// fails loudly here.
+func TestGoldenJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(smokeArgs, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got := normalizeSnapshot(t, buf.Bytes())
+
+	golden := filepath.Join("testdata", "golden_e1.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/cadaptive -run Golden -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("JSON snapshot drifted from %s:\n--- got ---\n%s\n--- want ---\n%s\n(intentional schema changes: bump core.SnapshotSchemaVersion and regenerate with -update)",
+			golden, got, want)
+	}
+}
+
+// TestGoldenJSONStableAcrossRuns guards the premise of the golden file (and
+// of the service's result cache): two runs with the same config produce
+// byte-identical normalized snapshots.
+func TestGoldenJSONStableAcrossRuns(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(smokeArgs, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(smokeArgs, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(normalizeSnapshot(t, a.Bytes()), normalizeSnapshot(t, b.Bytes())) {
+		t.Error("same config, different normalized snapshots")
+	}
+}
+
+// TestListOutput covers the -list path through the injected writer.
+func TestListOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != len(core.Experiments()) {
+		t.Fatalf("-list printed %d lines, want %d", len(lines), len(core.Experiments()))
+	}
+	for _, id := range []string{"E1", "E11", "A7"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("-list output missing %s", id)
+		}
+	}
+}
+
+// TestBadFlagsError covers the error paths that must not reach a run.
+func TestBadFlagsError(t *testing.T) {
+	for _, args := range [][]string{
+		{"-exp", "E1", "-format", "xml"},
+		{"-exp", "E1", "-workers", "-1"},
+		{"-exp", "nope"},
+		{"-exp", "E1", "-trials", "0"},
+		{"-exp", "E1", "-maxk", "99"},
+	} {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+// TestConfigErrorNamesFlag keeps the ConfigError → flag attribution.
+func TestConfigErrorNamesFlag(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-exp", "E1", "-trials", "0"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "-trials") {
+		t.Errorf("error %v does not name the -trials flag", err)
+	}
+	err = run([]string{"-exp", "E1", "-maxk", "3"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "-maxk") {
+		t.Errorf("error %v does not name the -maxk flag", err)
+	}
+}

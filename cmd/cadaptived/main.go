@@ -1,0 +1,95 @@
+// Command cadaptived serves the reproduction's experiments over HTTP: the
+// long-running counterpart to the cadaptive CLI, backed by the same
+// core.RunContext entry point, with a content-addressed result cache in
+// front of the engine.
+//
+// Usage:
+//
+//	cadaptived -addr :8344 -workers 8 -cache 512 -max-runs 2 -timeout 60s
+//
+// Endpoints:
+//
+//	POST /v1/run          run (or replay) an experiment: {"experiment":"E3","config":{"seed":1,"trials":20,"max_k":7}}
+//	GET  /v1/experiments  list experiments and ablations (mirrors -list)
+//	GET  /healthz         liveness
+//	GET  /metrics         cache hit/miss/coalesce counters, run counts, engine utilisation
+//
+// SIGINT/SIGTERM trigger graceful shutdown: the listener closes immediately,
+// in-flight runs drain (bounded by -drain), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cadaptived:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr    = flag.String("addr", ":8344", "listen address")
+		workers = flag.Int("workers", 0, "engine worker bound (0 = GOMAXPROCS); results do not depend on it")
+		cache   = flag.Int("cache", 512, "result-cache capacity in entries")
+		maxRuns = flag.Int("max-runs", 2, "maximum concurrent experiment runs (each fans out on the engine internally)")
+		timeout = flag.Duration("timeout", 60*time.Second, "per-run timeout, threaded into the engine as context cancellation")
+		drain   = flag.Duration("drain", 2*time.Minute, "graceful-shutdown drain budget for in-flight runs")
+	)
+	flag.Parse()
+
+	if *workers < 0 {
+		return fmt.Errorf("-workers %d < 0", *workers)
+	}
+	engine.SetSharedWorkers(*workers)
+
+	srv, err := service.New(service.Options{
+		Addr:              *addr,
+		CacheEntries:      *cache,
+		MaxConcurrentRuns: *maxRuns,
+		RunTimeout:        *timeout,
+	})
+	if err != nil {
+		return err
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("cadaptived: listening on %s (workers=%d, cache=%d, max-runs=%d, timeout=%v)",
+			*addr, engine.Shared().Workers(), *cache, *maxRuns, *timeout)
+		errc <- srv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err // listener failed before any signal
+	case sig := <-sigc:
+		log.Printf("cadaptived: %v, draining in-flight runs (budget %v)", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		log.Printf("cadaptived: drained, bye")
+		return nil
+	}
+}

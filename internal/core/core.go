@@ -13,6 +13,10 @@
 package core
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -30,6 +34,28 @@ type Config struct {
 	// MaxK is the largest problem-size exponent: problems run up to
 	// n = b^MaxK (4^MaxK for the matrix-shaped experiments).
 	MaxK int `json:"max_k"`
+
+	// ctx, when set, cancels the run: engine fan-outs stop claiming cells
+	// once it expires. It is carried inside Config (like http.Request's
+	// context) because experiment Run functions take only a Config; it is
+	// never serialised and does not participate in the result — two runs
+	// with equal exported fields produce identical tables.
+	ctx context.Context
+}
+
+// WithContext returns a copy of c carrying ctx. The cadaptived service uses
+// it to thread request deadlines into experiment fan-outs.
+func (c Config) WithContext(ctx context.Context) Config {
+	c.ctx = ctx
+	return c
+}
+
+// Context returns the run's context (never nil).
+func (c Config) Context() context.Context {
+	if c.ctx != nil {
+		return c.ctx
+	}
+	return context.Background()
 }
 
 // DefaultConfig returns the configuration the committed EXPERIMENTS.md
@@ -166,6 +192,11 @@ func (t *Table) FormatTSV() string {
 	return sb.String()
 }
 
+// ErrUnknownExperiment marks run requests whose ID is malformed or not
+// registered; callers (the HTTP service) match it with errors.Is to choose
+// a 404 over a 400.
+var ErrUnknownExperiment = errors.New("unknown experiment")
+
 // Experiment is a runnable reproduction unit.
 type Experiment struct {
 	ID      string
@@ -188,10 +219,21 @@ func register(e Experiment) {
 
 // ParseID parses an experiment ID of the form E<n> (paper experiments) or
 // A<n> (ablations), n >= 1. Malformed IDs — "Axe", a bare "A", "E07x" —
-// are rejected rather than silently parsed as 0.
+// are rejected rather than silently parsed as 0, leading zeros ("A07") are
+// rejected rather than aliased onto "A7", and over-long digit strings are
+// rejected before they can overflow n. Accepted IDs round-trip exactly:
+// fmt.Sprintf("%c%d", kind, n) == id.
 func ParseID(id string) (kind byte, n int, err error) {
 	if len(id) < 2 || (id[0] != 'E' && id[0] != 'A') {
 		return 0, 0, fmt.Errorf("core: malformed experiment ID %q (want E<n> or A<n>)", id)
+	}
+	if id[1] == '0' {
+		return 0, 0, fmt.Errorf("core: malformed experiment ID %q (no leading zeros)", id)
+	}
+	if len(id) > 7 {
+		// 6 digits is far beyond any registered experiment and keeps the
+		// accumulator a safe distance from overflow on 32-bit ints.
+		return 0, 0, fmt.Errorf("core: malformed experiment ID %q (too long)", id)
 	}
 	for i := 1; i < len(id); i++ {
 		if id[i] < '0' || id[i] > '9' {
@@ -203,6 +245,14 @@ func ParseID(id string) (kind byte, n int, err error) {
 		return 0, 0, fmt.Errorf("core: malformed experiment ID %q (numbering starts at 1)", id)
 	}
 	return id[0], n, nil
+}
+
+// Lookup returns the registered experiment with the given ID, reporting
+// whether it exists. It is the cheap existence check front-ends use to
+// reject unknown IDs before committing resources to a run.
+func Lookup(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
 }
 
 // Experiments lists the registered experiments in ID order.
@@ -243,17 +293,40 @@ func knownIDs() string {
 // Run executes the experiment with the given ID and records its Metrics
 // (wall time, engine cells, utilisation) on the returned table.
 func Run(id string, cfg Config) (*Table, error) {
+	return RunContext(context.Background(), id, cfg)
+}
+
+// RunContext is the run-by-ID entry point shared by the cadaptive CLI and
+// the cadaptived service — both go through it, so their results cannot
+// drift. ctx cancellation propagates into the experiment's engine fan-outs:
+// in-flight cells finish, queued cells never start, and the error is
+// ctx.Err().
+func RunContext(ctx context.Context, id string, cfg Config) (*Table, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if _, _, err := ParseID(id); err != nil {
-		return nil, fmt.Errorf("core: unknown experiment %q: %w (have %s)", id, err, knownIDs())
+		return nil, fmt.Errorf("core: %w %q: %v (have %s)", ErrUnknownExperiment, id, err, knownIDs())
 	}
 	e, ok := registry[id]
 	if !ok {
-		return nil, fmt.Errorf("core: unknown experiment %q (have %s)", id, knownIDs())
+		return nil, fmt.Errorf("core: %w %q (have %s)", ErrUnknownExperiment, id, knownIDs())
 	}
-	return runTimed(e, cfg)
+	return runTimed(e, cfg.WithContext(ctx))
+}
+
+// CacheKey returns the content address of a run's result: a hex SHA-256
+// over the snapshot schema version, the experiment ID, and every Config
+// field the tables depend on (seed, trials, maxK) — nothing else, because
+// experiments are deterministic pure functions of exactly those inputs
+// (worker count and scheduling only move wall time). Equal keys therefore
+// mean byte-identical tables, which is what makes result caching sound;
+// the schema version is mixed in so cached bytes from an older JSON layout
+// can never be served by a newer build.
+func CacheKey(id string, cfg Config) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("cadaptive/v%d|%s|seed=%d|trials=%d|maxk=%d",
+		SnapshotSchemaVersion, id, cfg.Seed, cfg.Trials, cfg.MaxK)))
+	return hex.EncodeToString(h[:])
 }
 
 // runTimed executes one experiment and fills in its metrics. Each
@@ -261,6 +334,9 @@ func Run(id string, cfg Config) (*Table, error) {
 // so per-experiment cell counts stay meaningful even when RunAll executes
 // many experiments concurrently on the shared pool.
 func runTimed(e Experiment, cfg Config) (*Table, error) {
+	if err := cfg.Context().Err(); err != nil {
+		return nil, err // dead on arrival: don't start the run at all
+	}
 	workers := engine.Shared().Workers()
 	start := time.Now()
 	t, err := e.Run(cfg)
@@ -281,12 +357,19 @@ func runTimed(e Experiment, cfg Config) (*Table, error) {
 // experiment finished first, and their contents are byte-identical to a
 // serial run; only the Metrics differ with the worker count.
 func RunAll(cfg Config) ([]*Table, error) {
+	return RunAllContext(context.Background(), cfg)
+}
+
+// RunAllContext is RunAll with cancellation threaded into the fan-out
+// across experiments (and from there into each experiment's own cells).
+func RunAllContext(ctx context.Context, cfg Config) ([]*Table, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	cfg = cfg.WithContext(ctx)
 	exps := Experiments()
 	out := make([]*Table, len(exps))
-	g := engine.NewGroup()
+	g := engine.NewGroup().WithContext(ctx)
 	err := g.Map(len(exps), func(i, _ int) error {
 		t, err := runTimed(exps[i], cfg)
 		if err != nil {

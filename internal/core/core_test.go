@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"strconv"
@@ -475,5 +476,64 @@ func TestA5BoundarySlopesNearWorstCase(t *testing.T) {
 	slope := (last - first) / (lastK - firstK)
 	if slope < 0.6 {
 		t.Errorf("a=b iid slope %g, want near-worst-case (>= 0.6)", slope)
+	}
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, "E3", smallConfig()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext on a dead context returned %v, want context.Canceled", err)
+	}
+	if _, err := RunAllContext(ctx, smallConfig()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunAllContext on a dead context returned %v, want context.Canceled", err)
+	}
+}
+
+func TestRunContextMatchesRun(t *testing.T) {
+	cfg := smallConfig()
+	a, err := Run("E1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContext(context.Background(), "E1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, p := stripMetrics([]*Table{a}), stripMetrics([]*Table{b})
+	if !reflect.DeepEqual(s[0], p[0]) {
+		t.Error("Run and RunContext disagree for the same (experiment, config)")
+	}
+}
+
+func TestCacheKey(t *testing.T) {
+	cfg := smallConfig()
+	k1 := CacheKey("E3", cfg)
+	if k2 := CacheKey("E3", cfg); k2 != k1 {
+		t.Errorf("CacheKey not deterministic: %s vs %s", k1, k2)
+	}
+	if len(k1) != 64 {
+		t.Errorf("CacheKey length %d, want 64 hex chars", len(k1))
+	}
+	// Every input the tables depend on must move the key.
+	seen := map[string]string{"base": k1}
+	for name, k := range map[string]string{
+		"id":     CacheKey("E4", cfg),
+		"seed":   CacheKey("E3", Config{Seed: cfg.Seed + 1, Trials: cfg.Trials, MaxK: cfg.MaxK}),
+		"trials": CacheKey("E3", Config{Seed: cfg.Seed, Trials: cfg.Trials + 1, MaxK: cfg.MaxK}),
+		"maxk":   CacheKey("E3", Config{Seed: cfg.Seed, Trials: cfg.Trials, MaxK: cfg.MaxK + 1}),
+	} {
+		for prev, pk := range seen {
+			if k == pk {
+				t.Errorf("changing %s collides with %s", name, prev)
+			}
+		}
+		seen[name] = k
+	}
+	// The context must NOT move the key: it is not part of the result.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if k := CacheKey("E3", cfg.WithContext(ctx)); k != k1 {
+		t.Error("attaching a context changed the cache key")
 	}
 }

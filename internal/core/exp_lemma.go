@@ -58,7 +58,7 @@ func runE4(cfg Config) (*Table, error) {
 	dists := []xrand.Dist{uni, tp, pl}
 	ns := []int64{64, 256, 1024}
 	results := make([]adaptivity.Lemma3Result, len(dists)*len(ns))
-	g := engine.NewGroup()
+	g := engine.NewGroup().WithContext(cfg.Context())
 	if err := g.Map(len(results), func(i, _ int) error {
 		d, n := dists[i/len(ns)], ns[i%len(ns)]
 		seed := xrand.Split(cfg.Seed, "E4", int64(i/len(ns)), n)

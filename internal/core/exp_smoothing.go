@@ -113,7 +113,7 @@ func runE3(cfg Config) (*Table, error) {
 		Title:  "Theorem 1: expected gap under i.i.d. box sizes (and literal shuffles)",
 		Header: []string{"distribution", "k", "n", "mean gap", "ci95", "worst-case gap"},
 	}
-	g := engine.NewGroup()
+	g := engine.NewGroup().WithContext(cfg.Context())
 	workers := newWorkerStates(g)
 
 	// i.i.d. part: one engine cell per (distribution, size, trial), laid out
@@ -228,7 +228,7 @@ func runE6(cfg Config) (*Table, error) {
 		return nil, err
 	}
 
-	g := engine.NewGroup()
+	g := engine.NewGroup().WithContext(cfg.Context())
 	workers := newWorkerStates(g)
 	type cell struct {
 		tf       int64
@@ -316,7 +316,7 @@ func runE7(cfg Config) (*Table, error) {
 		return nil, err
 	}
 
-	g := engine.NewGroup()
+	g := engine.NewGroup().WithContext(cfg.Context())
 	workers := newWorkerStates(g)
 	type cell struct{ k, trial int }
 	var cells []cell

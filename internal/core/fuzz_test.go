@@ -1,0 +1,37 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzParseID hammers the experiment-ID parser with hostile input. The
+// invariants: it never panics; an accepted ID has kind E or A and n >= 1;
+// and acceptance is canonical — re-rendering (kind, n) reproduces the input
+// byte-for-byte, so no two distinct strings alias onto one experiment
+// (leading zeros and overflowed digit strings used to break this).
+func FuzzParseID(f *testing.F) {
+	for _, seed := range []string{
+		"E1", "E11", "A7", "all",
+		"", "E", "A", "Axe", "e3", "A07", "E-1", "E0",
+		"E18446744073709551617", // would overflow a naive accumulator
+		"A999999", "E3x", "EE3", "É3",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, id string) {
+		kind, n, err := ParseID(id)
+		if err != nil {
+			return // rejection is always fine; not panicking is the point
+		}
+		if kind != 'E' && kind != 'A' {
+			t.Fatalf("ParseID(%q) accepted kind %q", id, kind)
+		}
+		if n < 1 {
+			t.Fatalf("ParseID(%q) accepted n = %d", id, n)
+		}
+		if rendered := fmt.Sprintf("%c%d", kind, n); rendered != id {
+			t.Fatalf("ParseID(%q) = (%c, %d) is not canonical: renders as %q", id, kind, n, rendered)
+		}
+	})
+}

@@ -19,6 +19,7 @@
 package engine
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -82,6 +83,7 @@ func SetSharedWorkers(workers int) {
 // per-experiment even while many experiments share one pool.
 type Group struct {
 	pool  *Pool
+	ctx   context.Context // nil means never cancelled
 	cells atomic.Int64
 	busy  atomic.Int64 // nanoseconds spent inside cell functions
 }
@@ -91,6 +93,16 @@ func (p *Pool) Group() *Group { return &Group{pool: p} }
 
 // NewGroup returns a Group on the shared pool.
 func NewGroup() *Group { return Shared().Group() }
+
+// WithContext attaches ctx to the group and returns the group. A Map on a
+// cancelled group stops claiming new cells — in-flight cells finish, queued
+// cells never start — and Map reports ctx's error once its workers drain.
+// Call it before Map; the long-running service threads request deadlines
+// into experiment fan-outs this way.
+func (g *Group) WithContext(ctx context.Context) *Group {
+	g.ctx = ctx
+	return g
+}
 
 // Workers returns the underlying pool's concurrency bound.
 func (g *Group) Workers() int { return g.pool.workers }
@@ -121,6 +133,9 @@ func (g *Group) Map(n int, fn func(cell, worker int) error) error {
 	var next atomic.Int64
 	work := func(worker int) {
 		for {
+			if g.ctx != nil && g.ctx.Err() != nil {
+				return // cancelled: stop claiming cells, let callers drain
+			}
 			cell := int(next.Add(1)) - 1
 			if cell >= n {
 				return
@@ -153,6 +168,13 @@ recruit:
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
+			return err
+		}
+	}
+	if g.ctx != nil {
+		// No cell failed, but a cancelled run is incomplete: unclaimed cells
+		// never wrote their slots, so the caller must not trust the results.
+		if err := g.ctx.Err(); err != nil {
 			return err
 		}
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -146,5 +147,69 @@ func TestGroupBusyAccounting(t *testing.T) {
 	}
 	if g.Busy() <= 0 {
 		t.Error("Busy() did not accumulate")
+	}
+}
+
+func TestMapContextCancelStopsClaimingCells(t *testing.T) {
+	g := New(2).Group()
+	ctx, cancel := context.WithCancel(context.Background())
+	g.WithContext(ctx)
+	const n = 10000
+	var ran atomic.Int64
+	err := g.Map(n, func(cell, _ int) error {
+		if ran.Add(1) == 5 {
+			cancel() // cancel mid-run: later cells must never start
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Map returned %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got >= n {
+		t.Errorf("all %d cells ran despite cancellation", got)
+	}
+}
+
+func TestMapContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := New(4).Group().WithContext(ctx)
+	var ran atomic.Int64
+	err := g.Map(100, func(cell, _ int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Map returned %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d cells ran under an already-cancelled context", ran.Load())
+	}
+}
+
+func TestMapCellErrorWinsOverCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := New(1).Group().WithContext(ctx)
+	boom := errors.New("boom")
+	err := g.Map(10, func(cell, _ int) error {
+		if cell == 3 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Map returned %v, want the cell error", err)
+	}
+}
+
+func TestMapNilContextNeverCancels(t *testing.T) {
+	g := New(2).Group()
+	var ran atomic.Int64
+	if err := g.Map(64, func(cell, _ int) error { ran.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 64 {
+		t.Errorf("ran %d cells, want 64", ran.Load())
 	}
 }

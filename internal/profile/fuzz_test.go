@@ -1,0 +1,52 @@
+package profile
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTSV feeds the TSV profile parser hostile input — the format is an
+// interchange surface (profilegen emits it, mmtrace and cadaptive consume
+// it), so it must never trust what it reads. Invariants: no panics; every
+// accepted profile has only positive box sizes (the SquareProfile
+// invariant every consumer relies on); and accepted profiles round-trip
+// losslessly through WriteTSV.
+func FuzzReadTSV(f *testing.F) {
+	for _, seed := range []string{
+		"4\n2\n1\n",
+		"0\t8\n1\t4\n",
+		"# comment\n\n  3 \n",
+		"9223372036854775807\n",
+		"9223372036854775808\n", // one past MaxInt64
+		"-3\n", "0\n", "1\t2\t3\n",
+		"1e3\n", "0x10\n", "³\n", "NaN\n",
+		"5\r\n7\r\n", // CRLF: Fields splits, ParseInt must see clean digits
+		"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := ReadTSV(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics and bad profiles are not
+		}
+		for i := 0; i < p.Len(); i++ {
+			if p.Box(i) < 1 {
+				t.Fatalf("ReadTSV accepted box %d with size %d", i, p.Box(i))
+			}
+		}
+		var buf bytes.Buffer
+		if err := p.WriteTSV(&buf); err != nil {
+			t.Fatalf("WriteTSV on accepted profile: %v", err)
+		}
+		back, err := ReadTSV(&buf)
+		if err != nil {
+			t.Fatalf("re-reading written profile: %v", err)
+		}
+		if !reflect.DeepEqual(back.Boxes(), p.Boxes()) {
+			t.Fatalf("round trip changed boxes: %v -> %v", p.Boxes(), back.Boxes())
+		}
+	})
+}

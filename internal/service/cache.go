@@ -1,0 +1,157 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// resultCache is the service's content-addressed result store: rendered
+// result bodies keyed by core.CacheKey hashes, bounded by an LRU policy
+// (same intrusive map + doubly-linked-list shape as internal/paging.LRU,
+// but over opaque byte slices), with singleflight de-duplication so that
+// concurrent identical requests run the underlying experiment exactly once.
+//
+// Because experiments are deterministic pure functions of the hashed
+// inputs, a cached body is not an approximation of a fresh run — it is
+// byte-identical to one, so the cache can serve it forever; eviction exists
+// only to bound memory.
+type resultCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*cacheEntry
+	head     *cacheEntry // most recently used
+	tail     *cacheEntry // least recently used
+	inflight map[string]*flight
+}
+
+type cacheEntry struct {
+	key        string
+	body       []byte
+	prev, next *cacheEntry
+}
+
+// flight is one in-progress computation of a key. Followers block on done
+// and then read body/err; both are written exactly once, before close.
+type flight struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// outcome says how a do call was served, for the /metrics counters.
+type outcome int
+
+const (
+	outcomeHit       outcome = iota // served from the cache
+	outcomeMiss                     // ran the computation (and filled the cache)
+	outcomeCoalesced                // waited on another caller's identical run
+)
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		capacity: capacity,
+		entries:  make(map[string]*cacheEntry),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// len reports the number of cached bodies.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// do returns the body for key, computing it with fn on a miss. Exactly one
+// caller per key runs fn at a time; concurrent callers for the same key
+// coalesce onto that run and share its result. Errors are returned to every
+// coalesced caller but never cached — the next request retries. The
+// returned body is shared and must not be mutated.
+//
+// ctx bounds only the *waiting* of a coalesced caller; the computation
+// itself runs under the leader's context, because its result is shared.
+func (c *resultCache) do(ctx context.Context, key string, fn func() ([]byte, error)) ([]byte, outcome, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.moveToFront(e)
+		c.mu.Unlock()
+		return e.body, outcomeHit, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.body, outcomeCoalesced, f.err
+		case <-ctx.Done():
+			return nil, outcomeCoalesced, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	f.body, f.err = fn()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil {
+		c.insert(key, f.body)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.body, outcomeMiss, f.err
+}
+
+// insert adds a body at the front, evicting from the tail past capacity.
+// Callers hold c.mu.
+func (c *resultCache) insert(key string, body []byte) {
+	if e, ok := c.entries[key]; ok {
+		// Possible if an entry was evicted and recomputed concurrently;
+		// both computations produced identical bytes, keep the fresh ones.
+		e.body = body
+		c.moveToFront(e)
+		return
+	}
+	e := &cacheEntry{key: key, body: body}
+	c.entries[key] = e
+	c.pushFront(e)
+	for len(c.entries) > c.capacity {
+		victim := c.tail
+		c.unlink(victim)
+		delete(c.entries, victim.key)
+	}
+}
+
+func (c *resultCache) pushFront(e *cacheEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *resultCache) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *resultCache) moveToFront(e *cacheEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}

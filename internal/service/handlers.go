@@ -1,0 +1,148 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+)
+
+// runRequest is the POST /v1/run body. Absent config fields keep the
+// defaults the committed EXPERIMENTS.md numbers were produced with, so
+// {"experiment":"E3"} alone is a valid request.
+type runRequest struct {
+	Experiment string      `json:"experiment"`
+	Config     core.Config `json:"config"`
+}
+
+// runResponse is the POST /v1/run reply. Table carries the experiment's
+// versioned Table JSON verbatim — the same bytes whether the run was fresh,
+// coalesced onto a concurrent identical run, or replayed from the cache;
+// only the envelope's cached/coalesced markers differ.
+type runResponse struct {
+	SchemaVersion int             `json:"schema_version"`
+	Key           string          `json:"key"` // content address (core.CacheKey)
+	Cached        bool            `json:"cached"`
+	Coalesced     bool            `json:"coalesced,omitempty"`
+	Experiment    string          `json:"experiment"`
+	Config        core.Config     `json:"config"`
+	Table         json.RawMessage `json:"table"`
+}
+
+// errorResponse is every non-2xx body. Field names the offending config
+// field (JSON name) when the error is a typed core.ConfigError.
+type errorResponse struct {
+	Error string `json:"error"`
+	Field string `json:"field,omitempty"`
+}
+
+// jsonFieldForConfigField maps ConfigError.Field to the request's JSON
+// field, the service-side analogue of the CLI's field → flag map.
+var jsonFieldForConfigField = map[string]string{
+	"Seed":   "seed",
+	"Trials": "trials",
+	"MaxK":   "max_k",
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the client is gone if this fails; nothing to do
+}
+
+// writeError maps an error onto a status and a typed body.
+func writeError(w http.ResponseWriter, err error) {
+	resp := errorResponse{Error: err.Error()}
+	status := http.StatusInternalServerError
+	var ce *core.ConfigError
+	switch {
+	case errors.As(err, &ce):
+		status = http.StatusBadRequest
+		resp.Field = jsonFieldForConfigField[ce.Field]
+	case errors.Is(err, core.ErrUnknownExperiment):
+		status = http.StatusNotFound
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The requester went away while queued or coalesced; the status is
+		// for the log's benefit only.
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+// handleRun serves POST /v1/run.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	req := runRequest{Config: core.DefaultConfig()}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid request body: " + err.Error()})
+		return
+	}
+	if req.Experiment == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: `missing "experiment"`})
+		return
+	}
+	// Validate up front so malformed requests fail fast with a field name
+	// instead of consuming a semaphore slot.
+	if err := req.Config.Validate(); err != nil {
+		writeError(w, err)
+		return
+	}
+	if _, ok := core.Lookup(req.Experiment); !ok {
+		writeError(w, fmt.Errorf("%w %q", core.ErrUnknownExperiment, req.Experiment))
+		return
+	}
+
+	body, key, oc, err := s.runCached(r.Context(), req.Experiment, req.Config)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, runResponse{
+		SchemaVersion: core.SnapshotSchemaVersion,
+		Key:           key,
+		Cached:        oc == outcomeHit,
+		Coalesced:     oc == outcomeCoalesced,
+		Experiment:    req.Experiment,
+		Config:        req.Config,
+		Table:         body,
+	})
+}
+
+// experimentInfo is one GET /v1/experiments row, mirroring `cadaptive -list`.
+type experimentInfo struct {
+	ID      string `json:"id"`
+	Source  string `json:"source"`
+	Summary string `json:"summary"`
+}
+
+// handleExperiments serves GET /v1/experiments.
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	exps := core.Experiments()
+	out := make([]experimentInfo, len(exps))
+	for i, e := range exps {
+		out[i] = experimentInfo{ID: e.ID, Source: e.Source, Summary: e.Summary}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Experiments []experimentInfo `json:"experiments"`
+	}{out})
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{"ok"})
+}
+
+// handleMetrics serves GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.met.snapshot(s.cache.len(), s.opts.CacheEntries, s.workers()))
+}

@@ -1,0 +1,101 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// metrics aggregates the service's observability counters. Cache and run
+// counts are lock-free atomics on the hot path; the engine accumulators
+// (float seconds from Table.Metrics) are folded in under a mutex once per
+// completed run.
+type metrics struct {
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	cacheCoalesced atomic.Int64
+
+	runsStarted   atomic.Int64
+	runsCompleted atomic.Int64
+	runsFailed    atomic.Int64
+	inFlight      atomic.Int64
+
+	mu          sync.Mutex
+	cells       int64
+	busySeconds float64
+	wallSeconds float64
+}
+
+// record folds an outcome into the cache counters.
+func (m *metrics) record(oc outcome) {
+	switch oc {
+	case outcomeHit:
+		m.cacheHits.Add(1)
+	case outcomeMiss:
+		m.cacheMisses.Add(1)
+	case outcomeCoalesced:
+		m.cacheCoalesced.Add(1)
+	}
+}
+
+// recordRun folds one completed run's engine accounting into the totals.
+func (m *metrics) recordRun(t *core.Table) {
+	m.runsCompleted.Add(1)
+	m.mu.Lock()
+	m.cells += t.Metrics.Cells
+	m.busySeconds += t.Metrics.BusySeconds
+	m.wallSeconds += t.Metrics.WallSeconds
+	m.mu.Unlock()
+}
+
+// metricsSnapshot is the GET /metrics response body.
+type metricsSnapshot struct {
+	Cache struct {
+		Hits      int64 `json:"hits"`
+		Misses    int64 `json:"misses"`
+		Coalesced int64 `json:"coalesced"`
+		Entries   int   `json:"entries"`
+		Capacity  int   `json:"capacity"`
+	} `json:"cache"`
+	Runs struct {
+		Started   int64 `json:"started"`
+		Completed int64 `json:"completed"`
+		Failed    int64 `json:"failed"`
+		InFlight  int64 `json:"in_flight"`
+	} `json:"runs"`
+	Engine struct {
+		Workers     int     `json:"workers"`
+		Cells       int64   `json:"cells_total"`
+		BusySeconds float64 `json:"busy_seconds_total"`
+		WallSeconds float64 `json:"wall_seconds_total"`
+		// Utilisation is cumulative busy worker-seconds over the worker-
+		// seconds the completed runs had available — the service-lifetime
+		// analogue of Table.Metrics.Utilisation.
+		Utilisation float64 `json:"utilisation"`
+	} `json:"engine"`
+}
+
+// snapshot assembles the exported view.
+func (m *metrics) snapshot(cacheEntries, cacheCapacity, workers int) metricsSnapshot {
+	var s metricsSnapshot
+	s.Cache.Hits = m.cacheHits.Load()
+	s.Cache.Misses = m.cacheMisses.Load()
+	s.Cache.Coalesced = m.cacheCoalesced.Load()
+	s.Cache.Entries = cacheEntries
+	s.Cache.Capacity = cacheCapacity
+	s.Runs.Started = m.runsStarted.Load()
+	s.Runs.Completed = m.runsCompleted.Load()
+	s.Runs.Failed = m.runsFailed.Load()
+	s.Runs.InFlight = m.inFlight.Load()
+	s.Engine.Workers = workers
+	m.mu.Lock()
+	s.Engine.Cells = m.cells
+	s.Engine.BusySeconds = m.busySeconds
+	s.Engine.WallSeconds = m.wallSeconds
+	m.mu.Unlock()
+	if s.Engine.WallSeconds > 0 && workers > 0 {
+		s.Engine.Utilisation = s.Engine.BusySeconds / (s.Engine.WallSeconds * float64(workers))
+	}
+	return s
+}

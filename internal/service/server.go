@@ -1,0 +1,152 @@
+// Package service implements cadaptived, the long-running HTTP front-end
+// over the experiment engine. It turns the one-shot CLI reproduction into a
+// query service: clients POST (experiment, config, seed) and get back the
+// same versioned Table JSON the CLI emits, served from a content-addressed
+// result cache whenever the identical run has been computed before.
+//
+// The design leans entirely on PR 1's determinism guarantee: every
+// experiment is a pure function of (schema version, experiment ID, seed,
+// trials, maxK), so a canonical hash of those inputs (core.CacheKey) is a
+// sound address for the result bytes. On top of that the server adds
+// singleflight de-duplication (concurrent identical requests run once), a
+// semaphore bounding how many distinct experiments execute at a time,
+// per-run timeouts threaded as context cancellation into engine.Map, and
+// graceful shutdown that drains in-flight runs.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// Options configures a Server. The zero value of any field selects its
+// default.
+type Options struct {
+	// Addr is the listen address for ListenAndServe (default ":8344").
+	Addr string
+	// CacheEntries bounds the result cache (default 512 entries).
+	CacheEntries int
+	// MaxConcurrentRuns bounds how many distinct experiment runs execute at
+	// once (default 2). Each run already fans out across the shared engine
+	// pool internally, so a small bound keeps the pool from thrashing
+	// between unrelated requests; excess requests queue on the semaphore.
+	MaxConcurrentRuns int
+	// RunTimeout bounds a single experiment run (default 60s). It is
+	// threaded as context cancellation into the engine fan-out; a run that
+	// exceeds it returns 504 and is not cached.
+	RunTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Addr == "" {
+		o.Addr = ":8344"
+	}
+	if o.CacheEntries == 0 {
+		o.CacheEntries = 512
+	}
+	if o.MaxConcurrentRuns == 0 {
+		o.MaxConcurrentRuns = 2
+	}
+	if o.RunTimeout == 0 {
+		o.RunTimeout = 60 * time.Second
+	}
+	return o
+}
+
+// Server is the cadaptived HTTP service.
+type Server struct {
+	opts  Options
+	cache *resultCache
+	sem   chan struct{} // bounds concurrent experiment runs
+	met   metrics
+	mux   *http.ServeMux
+	http  *http.Server
+
+	// runFn is core.RunContext; tests swap in controllable runs.
+	runFn func(ctx context.Context, id string, cfg core.Config) (*core.Table, error)
+}
+
+// New validates opts and assembles a server (not yet listening).
+func New(opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	if opts.CacheEntries < 1 {
+		return nil, fmt.Errorf("service: CacheEntries %d < 1", opts.CacheEntries)
+	}
+	if opts.MaxConcurrentRuns < 1 {
+		return nil, fmt.Errorf("service: MaxConcurrentRuns %d < 1", opts.MaxConcurrentRuns)
+	}
+	if opts.RunTimeout < 0 {
+		return nil, fmt.Errorf("service: negative RunTimeout %v", opts.RunTimeout)
+	}
+	s := &Server{
+		opts:  opts,
+		cache: newResultCache(opts.CacheEntries),
+		sem:   make(chan struct{}, opts.MaxConcurrentRuns),
+		runFn: core.RunContext,
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.http = &http.Server{Addr: opts.Addr, Handler: s.mux}
+	return s, nil
+}
+
+// Handler exposes the route table (httptest servers, embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe serves on Options.Addr until Shutdown or failure.
+func (s *Server) ListenAndServe() error { return s.http.ListenAndServe() }
+
+// Serve serves on l until Shutdown or failure.
+func (s *Server) Serve(l net.Listener) error { return s.http.Serve(l) }
+
+// Shutdown stops accepting new connections and blocks until every in-flight
+// request — including the experiment run inside it — completes, or ctx
+// expires. Runs are never killed by shutdown: their handlers finish and
+// their results land in the cache before Shutdown returns.
+func (s *Server) Shutdown(ctx context.Context) error { return s.http.Shutdown(ctx) }
+
+// runCached computes (or replays) the result body for one run request.
+// reqCtx bounds queueing and coalesced waiting; the run itself executes
+// under the server's RunTimeout, detached from the individual client,
+// because its result is shared by every present and future request for the
+// same key.
+func (s *Server) runCached(reqCtx context.Context, id string, cfg core.Config) ([]byte, string, outcome, error) {
+	key := core.CacheKey(id, cfg)
+	body, oc, err := s.cache.do(reqCtx, key, func() ([]byte, error) {
+		select {
+		case s.sem <- struct{}{}:
+		case <-reqCtx.Done():
+			return nil, reqCtx.Err()
+		}
+		defer func() { <-s.sem }()
+
+		s.met.runsStarted.Add(1)
+		s.met.inFlight.Add(1)
+		defer s.met.inFlight.Add(-1)
+
+		runCtx, cancel := context.WithTimeout(context.WithoutCancel(reqCtx), s.opts.RunTimeout)
+		defer cancel()
+		t, err := s.runFn(runCtx, id, cfg)
+		if err != nil {
+			s.met.runsFailed.Add(1)
+			return nil, err
+		}
+		s.met.recordRun(t)
+		return json.Marshal(t)
+	})
+	s.met.record(oc)
+	return body, key, oc, err
+}
+
+// Workers reports the engine worker bound, for /metrics.
+func (s *Server) workers() int { return engine.Shared().Workers() }

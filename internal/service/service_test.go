@@ -1,0 +1,495 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// smokeConfig matches the cheap config the rest of the suite uses.
+func smokeConfig() core.Config {
+	return core.Config{Seed: 7, Trials: 2, MaxK: 4}
+}
+
+func newTestServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func postRun(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	return resp
+}
+
+func runBody(cfg core.Config, id string) string {
+	return fmt.Sprintf(`{"experiment":%q,"config":{"seed":%d,"trials":%d,"max_k":%d}}`,
+		id, cfg.Seed, cfg.Trials, cfg.MaxK)
+}
+
+// TestServiceCacheHit drives the real experiment path twice: the first POST
+// misses and runs, the second is served from the cache with byte-identical
+// table JSON, and /metrics proves it never reached the engine again.
+func TestServiceCacheHit(t *testing.T) {
+	s := newTestServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// E3 rather than E1: it fans out on the engine, so the /metrics engine
+	// totals are exercised too.
+	body := runBody(smokeConfig(), "E3")
+	resp1, data1 := postRun(t, ts, body)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first POST: %d: %s", resp1.StatusCode, data1)
+	}
+	var r1, r2 runResponse
+	if err := json.Unmarshal(data1, &r1); err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cached {
+		t.Error("first request claims to be cached")
+	}
+	if r1.Key != core.CacheKey("E3", smokeConfig()) {
+		t.Errorf("key %s is not the content address", r1.Key)
+	}
+
+	resp2, data2 := postRun(t, ts, body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second POST: %d: %s", resp2.StatusCode, data2)
+	}
+	if err := json.Unmarshal(data2, &r2); err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Cached {
+		t.Error("second identical request was not served from cache")
+	}
+	if !bytes.Equal(r1.Table, r2.Table) {
+		t.Error("cached table bytes differ from the fresh run's")
+	}
+
+	var m metricsSnapshot
+	getJSON(t, ts, "/metrics", &m)
+	if m.Cache.Hits != 1 || m.Cache.Misses != 1 {
+		t.Errorf("cache counters hits=%d misses=%d, want 1/1", m.Cache.Hits, m.Cache.Misses)
+	}
+	if m.Runs.Started != 1 || m.Runs.Completed != 1 {
+		t.Errorf("runs started=%d completed=%d, want 1/1 (cache hit must not run)", m.Runs.Started, m.Runs.Completed)
+	}
+	if m.Cache.Entries != 1 {
+		t.Errorf("cache entries = %d, want 1", m.Cache.Entries)
+	}
+	if m.Engine.Cells <= 0 {
+		t.Errorf("engine cells_total = %d, want > 0 after an E3 run", m.Engine.Cells)
+	}
+}
+
+// TestServiceCLIAndServerTablesIdentical is the no-drift guarantee: the
+// table the service returns is byte-identical (modulo run-dependent
+// Metrics) to what the CLI's core.RunContext entry point produces for the
+// same (experiment, config, seed).
+func TestServiceCLIAndServerTablesIdentical(t *testing.T) {
+	s := newTestServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, data := postRun(t, ts, runBody(smokeConfig(), "E1"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST: %d: %s", resp.StatusCode, data)
+	}
+	var r runResponse
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatal(err)
+	}
+	var served core.Table
+	if err := json.Unmarshal(r.Table, &served); err != nil {
+		t.Fatal(err)
+	}
+
+	direct, err := core.RunContext(context.Background(), "E1", smokeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	served.Metrics, direct.Metrics = core.Metrics{}, core.Metrics{}
+	if !reflect.DeepEqual(&served, direct) {
+		t.Fatalf("server and CLI tables differ:\nserver: %+v\ncli:    %+v", served, *direct)
+	}
+	a, err := json.Marshal(&served)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("metrics-stripped table JSON not byte-identical:\n%s\n%s", a, b)
+	}
+}
+
+// TestServiceSingleflightCollapse fires 16 concurrent identical requests at
+// a run function that blocks until every request has arrived, then counts:
+// the run must execute once, one caller is the miss, 15 coalesce.
+func TestServiceSingleflightCollapse(t *testing.T) {
+	const clients = 16
+	var calls atomic.Int64
+	release := make(chan struct{})
+	s := newTestServer(t, Options{})
+	s.runFn = func(ctx context.Context, id string, cfg core.Config) (*core.Table, error) {
+		calls.Add(1)
+		<-release
+		return &core.Table{ID: id, Header: []string{"x"}, Rows: [][]string{{"1"}}}, nil
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := runBody(smokeConfig(), "E3")
+	var wg sync.WaitGroup
+	type result struct {
+		status int
+		resp   runResponse
+	}
+	results := make([]result, clients)
+	var arrived atomic.Int64
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			arrived.Add(1)
+			resp, data := postRun(t, ts, body)
+			results[i].status = resp.StatusCode
+			_ = json.Unmarshal(data, &results[i].resp)
+		}(i)
+	}
+	// Hold the one real run until every client has at least been spawned;
+	// followers either coalesce on the flight or hit the cache afterwards —
+	// both prove the engine ran once.
+	for arrived.Load() < clients {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("run function executed %d times for %d identical requests", got, clients)
+	}
+	var tables [][]byte
+	for i, r := range results {
+		if r.status != http.StatusOK {
+			t.Fatalf("client %d: status %d", i, r.status)
+		}
+		tables = append(tables, r.resp.Table)
+	}
+	for i := 1; i < len(tables); i++ {
+		if !bytes.Equal(tables[0], tables[i]) {
+			t.Errorf("client %d received different table bytes", i)
+		}
+	}
+	var m metricsSnapshot
+	getJSON(t, ts, "/metrics", &m)
+	if m.Cache.Misses != 1 {
+		t.Errorf("misses = %d, want exactly 1", m.Cache.Misses)
+	}
+	if m.Runs.Started != 1 {
+		t.Errorf("runs started = %d, want 1", m.Runs.Started)
+	}
+	if m.Cache.Misses+m.Cache.Coalesced+m.Cache.Hits != clients {
+		t.Errorf("outcome counters %d+%d+%d don't cover %d clients",
+			m.Cache.Misses, m.Cache.Coalesced, m.Cache.Hits, clients)
+	}
+}
+
+// TestServiceSemaphoreBoundsConcurrentRuns checks that distinct experiments
+// (distinct cache keys, so singleflight does not collapse them) never
+// execute concurrently beyond MaxConcurrentRuns.
+func TestServiceSemaphoreBoundsConcurrentRuns(t *testing.T) {
+	var inRun, maxInRun atomic.Int64
+	s := newTestServer(t, Options{MaxConcurrentRuns: 1})
+	s.runFn = func(ctx context.Context, id string, cfg core.Config) (*core.Table, error) {
+		cur := inRun.Add(1)
+		defer inRun.Add(-1)
+		for {
+			old := maxInRun.Load()
+			if cur <= old || maxInRun.CompareAndSwap(old, cur) {
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond) // widen the overlap window
+		return &core.Table{ID: id, Header: []string{"x"}, Rows: [][]string{{"1"}}}, nil
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	ids := []string{"E1", "E2", "E3", "E4", "E5", "E6"}
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			resp, data := postRun(t, ts, runBody(smokeConfig(), id))
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("%s: status %d: %s", id, resp.StatusCode, data)
+			}
+		}(id)
+	}
+	wg.Wait()
+	if got := maxInRun.Load(); got > 1 {
+		t.Errorf("observed %d concurrent runs, semaphore bound is 1", got)
+	}
+}
+
+// TestServiceConfigErrors maps malformed requests onto 4xx with the typed
+// ConfigError field names; nothing malformed may reach the engine.
+func TestServiceConfigErrors(t *testing.T) {
+	var calls atomic.Int64
+	s := newTestServer(t, Options{})
+	s.runFn = func(ctx context.Context, id string, cfg core.Config) (*core.Table, error) {
+		calls.Add(1)
+		return nil, fmt.Errorf("must not run")
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name   string
+		body   string
+		status int
+		field  string
+	}{
+		{"trials zero", `{"experiment":"E3","config":{"seed":1,"trials":0,"max_k":4}}`, http.StatusBadRequest, "trials"},
+		{"maxk too small", `{"experiment":"E3","config":{"seed":1,"trials":2,"max_k":3}}`, http.StatusBadRequest, "max_k"},
+		{"maxk too large", `{"experiment":"E3","config":{"seed":1,"trials":2,"max_k":99}}`, http.StatusBadRequest, "max_k"},
+		{"unknown experiment", `{"experiment":"E99","config":{"seed":1,"trials":2,"max_k":4}}`, http.StatusNotFound, ""},
+		{"malformed id", `{"experiment":"Axe"}`, http.StatusNotFound, ""},
+		{"missing experiment", `{"config":{"trials":2,"max_k":4}}`, http.StatusBadRequest, ""},
+		{"not json", `{nope`, http.StatusBadRequest, ""},
+		{"unknown field", `{"experiment":"E3","confg":{}}`, http.StatusBadRequest, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, data := postRun(t, ts, tc.body)
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d: %s", resp.StatusCode, tc.status, data)
+			}
+			var e errorResponse
+			if err := json.Unmarshal(data, &e); err != nil {
+				t.Fatalf("error body is not JSON: %s", data)
+			}
+			if e.Error == "" {
+				t.Error("empty error message")
+			}
+			if e.Field != tc.field {
+				t.Errorf("field %q, want %q", e.Field, tc.field)
+			}
+		})
+	}
+	if calls.Load() != 0 {
+		t.Errorf("%d malformed requests reached the run function", calls.Load())
+	}
+
+	// Defaulting: absent config fields fall back to DefaultConfig, so a
+	// body naming only the experiment is valid (stub keeps it cheap).
+	s.runFn = func(ctx context.Context, id string, cfg core.Config) (*core.Table, error) {
+		if cfg != core.DefaultConfig() {
+			return nil, fmt.Errorf("config %+v, want defaults", cfg)
+		}
+		return &core.Table{ID: id, Header: []string{"x"}, Rows: [][]string{{"1"}}}, nil
+	}
+	resp, data := postRun(t, ts, `{"experiment":"E3"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("defaulted request failed: %d: %s", resp.StatusCode, data)
+	}
+}
+
+// TestServiceRunTimeout maps an expired per-run deadline onto 504 and must
+// not cache the failure.
+func TestServiceRunTimeout(t *testing.T) {
+	s := newTestServer(t, Options{RunTimeout: 10 * time.Millisecond})
+	s.runFn = func(ctx context.Context, id string, cfg core.Config) (*core.Table, error) {
+		<-ctx.Done() // the engine behaves the same way: Map returns ctx.Err()
+		return nil, ctx.Err()
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, data := postRun(t, ts, runBody(smokeConfig(), "E3"))
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", resp.StatusCode, data)
+	}
+	var m metricsSnapshot
+	getJSON(t, ts, "/metrics", &m)
+	if m.Runs.Failed != 1 {
+		t.Errorf("runs failed = %d, want 1", m.Runs.Failed)
+	}
+	if m.Cache.Entries != 0 {
+		t.Errorf("failed run was cached (%d entries)", m.Cache.Entries)
+	}
+}
+
+// TestServiceGracefulShutdownDrains starts a slow run, calls Shutdown while
+// it is in flight, and checks that Shutdown waits for the run to finish and
+// the client still receives its 200.
+func TestServiceGracefulShutdownDrains(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	s := newTestServer(t, Options{})
+	s.runFn = func(ctx context.Context, id string, cfg core.Config) (*core.Table, error) {
+		close(started)
+		<-release
+		return &core.Table{ID: id, Header: []string{"x"}, Rows: [][]string{{"1"}}}, nil
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(l) }()
+	url := "http://" + l.Addr().String()
+
+	respc := make(chan *http.Response, 1)
+	reqErr := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(url+"/v1/run", "application/json", strings.NewReader(runBody(smokeConfig(), "E3")))
+		if err != nil {
+			reqErr <- err
+			return
+		}
+		respc <- resp
+	}()
+	<-started // the run is now in flight
+
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- s.Shutdown(context.Background()) }()
+
+	// Shutdown must block while the run drains.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned (%v) while a run was still in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+	select {
+	case resp := <-respc:
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("drained request got %d, want 200", resp.StatusCode)
+		}
+	case err := <-reqErr:
+		t.Fatalf("request failed across shutdown: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("request did not complete after release")
+	}
+	select {
+	case err := <-shutdownDone:
+		if err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown did not return after the run drained")
+	}
+	if err := <-serveErr; err != http.ErrServerClosed {
+		t.Errorf("Serve returned %v, want http.ErrServerClosed", err)
+	}
+}
+
+// TestServiceExperimentsEndpoint mirrors `cadaptive -list`.
+func TestServiceExperimentsEndpoint(t *testing.T) {
+	s := newTestServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var body struct {
+		Experiments []experimentInfo `json:"experiments"`
+	}
+	resp := getJSON(t, ts, "/v1/experiments", &body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	exps := core.Experiments()
+	if len(body.Experiments) != len(exps) {
+		t.Fatalf("%d experiments listed, core has %d", len(body.Experiments), len(exps))
+	}
+	for i, e := range exps {
+		got := body.Experiments[i]
+		if got.ID != e.ID || got.Source != e.Source || got.Summary != e.Summary {
+			t.Errorf("entry %d = %+v, want %s/%s/%s", i, got, e.ID, e.Source, e.Summary)
+		}
+	}
+}
+
+func TestServiceHealthz(t *testing.T) {
+	s := newTestServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	var body struct {
+		Status string `json:"status"`
+	}
+	if resp := getJSON(t, ts, "/healthz", &body); resp.StatusCode != http.StatusOK || body.Status != "ok" {
+		t.Fatalf("healthz: %d %+v", resp.StatusCode, body)
+	}
+}
+
+func TestServiceMethodNotAllowed(t *testing.T) {
+	s := newTestServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/run: %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestServiceOptionsValidation(t *testing.T) {
+	if _, err := New(Options{CacheEntries: -1}); err == nil {
+		t.Error("negative CacheEntries accepted")
+	}
+	if _, err := New(Options{MaxConcurrentRuns: -2}); err == nil {
+		t.Error("negative MaxConcurrentRuns accepted")
+	}
+	if _, err := New(Options{RunTimeout: -time.Second}); err == nil {
+		t.Error("negative RunTimeout accepted")
+	}
+}

@@ -24,4 +24,17 @@ go test -race -short \
     ./internal/core/ \
     -run 'TestMap|TestNested|TestShared|TestGroup|TestTrialsDeterministicAcrossWorkers|TestRunAllDeterministicAcrossWorkers'
 
+echo "== go test -race (service + paging properties) =="
+go test -race -short \
+    ./internal/service/ \
+    ./internal/paging/ \
+    -run 'TestService|TestCache|TestLRU|TestOPT|TestHitsPlusMisses|TestShrink'
+
+echo "== fuzz smoke =="
+# Five seconds per fuzz target: enough to exercise the mutator on the
+# checked-in corpora without stalling CI. -run '^$' skips the unit tests
+# (already covered above) so only the fuzzing engine runs.
+go test -run '^$' -fuzz '^FuzzParseID$' -fuzztime 5s ./internal/core/
+go test -run '^$' -fuzz '^FuzzReadTSV$' -fuzztime 5s ./internal/profile/
+
 echo "CI OK"
