@@ -27,7 +27,7 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, time.Now); err != nil {
 		fmt.Fprintln(os.Stderr, "cadaptive:", err)
 		os.Exit(1)
 	}
@@ -40,9 +40,12 @@ var flagForField = map[string]string{
 }
 
 // run is the whole CLI behind main: flags in, formatted tables out on
-// stdout. It takes its arguments and output stream explicitly so the
-// end-to-end golden test can execute the real CLI path in-process.
-func run(args []string, stdout io.Writer) error {
+// stdout. It takes its arguments, output stream and clock explicitly so
+// the end-to-end golden test can execute the real CLI path in-process with
+// a fixed timestamp — internal/core never reads the wall clock itself
+// (enforced by cadaptivelint's notime check), so the injected now is the
+// only source of GeneratedAt and wall times.
+func run(args []string, stdout io.Writer, now func() time.Time) error {
 	def := core.DefaultConfig()
 	fs := flag.NewFlagSet("cadaptive", flag.ContinueOnError)
 	var (
@@ -89,7 +92,7 @@ func run(args []string, stdout io.Writer) error {
 	// RunAllContext as their only run entry points, so the two front-ends
 	// cannot drift apart in what a given (experiment, config, seed) means.
 	ctx := context.Background()
-	start := time.Now()
+	start := now()
 	var tables []*core.Table
 	if *exp == "all" {
 		all, err := core.RunAllContext(ctx, cfg)
@@ -104,10 +107,11 @@ func run(args []string, stdout io.Writer) error {
 		}
 		tables = []*core.Table{t}
 	}
-	wall := time.Since(start)
+	end := now()
+	wall := end.Sub(start)
 
 	if *format == "json" {
-		buf, err := core.NewSnapshot(cfg, tables, wall).MarshalIndentJSON()
+		buf, err := core.NewSnapshot(cfg, tables, wall, end).MarshalIndentJSON()
 		if err != nil {
 			return err
 		}

@@ -7,9 +7,17 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 )
+
+// fixedClock is the injected test clock: every call returns the same
+// instant, so GeneratedAt and wall times are fully deterministic without
+// normalization tricks.
+func fixedClock() time.Time {
+	return time.Date(2020, 7, 15, 12, 0, 0, 0, time.UTC)
+}
 
 var update = flag.Bool("update", false, "rewrite golden files from the current output")
 
@@ -45,8 +53,15 @@ func normalizeSnapshot(t *testing.T, raw []byte) []byte {
 // fails loudly here.
 func TestGoldenJSONOutput(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(smokeArgs, &buf); err != nil {
+	if err := run(smokeArgs, &buf, fixedClock); err != nil {
 		t.Fatal(err)
+	}
+	// The clock is injected, so even the pre-normalization timestamp is
+	// deterministic: core.NewSnapshot never reads the wall clock itself.
+	if raw, err := core.ParseSnapshot(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	} else if raw.GeneratedAt != "2020-07-15T12:00:00Z" {
+		t.Errorf("GeneratedAt %q, want the injected fixed clock", raw.GeneratedAt)
 	}
 	got := normalizeSnapshot(t, buf.Bytes())
 
@@ -73,10 +88,10 @@ func TestGoldenJSONOutput(t *testing.T) {
 // byte-identical normalized snapshots.
 func TestGoldenJSONStableAcrossRuns(t *testing.T) {
 	var a, b bytes.Buffer
-	if err := run(smokeArgs, &a); err != nil {
+	if err := run(smokeArgs, &a, fixedClock); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(smokeArgs, &b); err != nil {
+	if err := run(smokeArgs, &b, fixedClock); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(normalizeSnapshot(t, a.Bytes()), normalizeSnapshot(t, b.Bytes())) {
@@ -87,7 +102,7 @@ func TestGoldenJSONStableAcrossRuns(t *testing.T) {
 // TestListOutput covers the -list path through the injected writer.
 func TestListOutput(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-list"}, &buf); err != nil {
+	if err := run([]string{"-list"}, &buf, fixedClock); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -112,7 +127,7 @@ func TestBadFlagsError(t *testing.T) {
 		{"-exp", "E1", "-maxk", "99"},
 	} {
 		var buf bytes.Buffer
-		if err := run(args, &buf); err == nil {
+		if err := run(args, &buf, fixedClock); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
 	}
@@ -121,11 +136,11 @@ func TestBadFlagsError(t *testing.T) {
 // TestConfigErrorNamesFlag keeps the ConfigError → flag attribution.
 func TestConfigErrorNamesFlag(t *testing.T) {
 	var buf bytes.Buffer
-	err := run([]string{"-exp", "E1", "-trials", "0"}, &buf)
+	err := run([]string{"-exp", "E1", "-trials", "0"}, &buf, fixedClock)
 	if err == nil || !strings.Contains(err.Error(), "-trials") {
 		t.Errorf("error %v does not name the -trials flag", err)
 	}
-	err = run([]string{"-exp", "E1", "-maxk", "3"}, &buf)
+	err = run([]string{"-exp", "E1", "-maxk", "3"}, &buf, fixedClock)
 	if err == nil || !strings.Contains(err.Error(), "-maxk") {
 		t.Errorf("error %v does not name the -maxk flag", err)
 	}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// miniModule is a self-contained module with one clean and one dirty
+// package, so CLI tests exercise the real load-lint-report path without
+// re-type-checking the whole repository.
+func miniModule(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("testdata", "module"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+func TestListChecks(t *testing.T) {
+	var buf bytes.Buffer
+	code, err := run([]string{"-list"}, &buf)
+	if code != 0 || err != nil {
+		t.Fatalf("-list: code %d, err %v", code, err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if want := len(lint.Analyzers()); len(lines) != want {
+		t.Fatalf("-list printed %d lines, want %d:\n%s", len(lines), want, out)
+	}
+	for _, name := range []string{"norand", "notime", "errcheck", "maporder", "mutexcopy"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %q", name)
+		}
+	}
+}
+
+func TestDirtyModuleFindings(t *testing.T) {
+	root := miniModule(t)
+	var buf bytes.Buffer
+	code, err := run([]string{"-root", root, "-format", "text", root + "/..."}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code %d on a dirty module, want 1\n%s", code, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"dirty/dirty.go",
+		"norand: import of math/rand",
+		"errcheck: result of fmt.Sscanf discarded",
+		"2 finding(s)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "clean.go") {
+		t.Errorf("clean package produced findings:\n%s", out)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	root := miniModule(t)
+	var buf bytes.Buffer
+	code, err := run([]string{"-root", root, "-format", "json", root + "/..."}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	var rep jsonReport
+	if jerr := json.Unmarshal(buf.Bytes(), &rep); jerr != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", jerr, buf.String())
+	}
+	if len(rep.Diagnostics) != 2 {
+		t.Fatalf("%d diagnostics in JSON, want 2: %+v", len(rep.Diagnostics), rep.Diagnostics)
+	}
+	checks := map[string]bool{}
+	for _, d := range rep.Diagnostics {
+		checks[d.Check] = true
+		if d.File != "dirty/dirty.go" {
+			t.Errorf("diagnostic file %q, want module-relative dirty/dirty.go", d.File)
+		}
+		if d.Line == 0 || d.Column == 0 || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+	}
+	if !checks["norand"] || !checks["errcheck"] {
+		t.Errorf("JSON diagnostics missing a check: %+v", rep.Diagnostics)
+	}
+	// Both the dirty package's annotated Sscanf and the clean package's
+	// annotated append must surface as suppressions, not findings.
+	if len(rep.Suppressed) != 2 {
+		t.Errorf("%d suppressed entries, want 2: %+v", len(rep.Suppressed), rep.Suppressed)
+	}
+}
+
+func TestChecksSubsetAndCleanExit(t *testing.T) {
+	root := miniModule(t)
+
+	// Only mutexcopy: the dirty package has no lock copies, so the module
+	// is clean under that subset.
+	var buf bytes.Buffer
+	code, err := run([]string{"-root", root, "-checks", "mutexcopy", root + "/..."}, &buf)
+	if code != 0 || err != nil {
+		t.Fatalf("mutexcopy-only: code %d, err %v\n%s", code, err, buf.String())
+	}
+
+	// The clean package alone exits 0 under every check.
+	buf.Reset()
+	code, err = run([]string{"-root", root, root + "/clean"}, &buf)
+	if code != 0 || err != nil {
+		t.Fatalf("clean package: code %d, err %v\n%s", code, err, buf.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	root := miniModule(t)
+	for _, args := range [][]string{
+		{"-format", "xml"},
+		{"-checks", "nope"},
+		{"-root", root, root + "/no/such/dir"},
+	} {
+		var buf bytes.Buffer
+		code, err := run(args, &buf)
+		if code != 2 || err == nil {
+			t.Errorf("args %v: code %d, err %v; want code 2 with an error", args, code, err)
+		}
+	}
+}

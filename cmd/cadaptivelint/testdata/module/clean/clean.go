@@ -1,0 +1,23 @@
+// Package clean is free of findings; the CLI must exit 0 on it.
+package clean
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Join renders m deterministically: keys are collected, sorted, then
+// formatted in sorted order.
+func Join(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		//lint:ignore maporder keys is sorted before any order-sensitive use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += fmt.Sprintf("%s=%d;", k, m[k])
+	}
+	return out
+}

@@ -1,0 +1,17 @@
+// Package dirty violates norand and errcheck; the CLI must report both
+// and honour the one suppression.
+package dirty
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Parse swallows a scan error and leans on the global generator.
+func Parse(s string) int {
+	var n int
+	fmt.Sscanf(s, "%d", &n)
+	//lint:ignore errcheck the fallback value is fine in this demo
+	fmt.Sscanf(s, "%x", &n)
+	return n + rand.Int()
+}

@@ -1,0 +1,3 @@
+module example/mini
+
+go 1.22

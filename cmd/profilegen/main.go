@@ -107,7 +107,7 @@ func compactHistogram(p *profile.SquareProfile) string {
 	h := p.SizeHistogram()
 	sizes := make([]int64, 0, len(h))
 	for s := range h {
-		sizes = append(sizes, s)
+		sizes = append(sizes, s) //lint:ignore maporder sizes is sorted immediately below
 	}
 	for i := 0; i < len(sizes); i++ {
 		for j := i + 1; j < len(sizes); j++ {

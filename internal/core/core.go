@@ -259,7 +259,7 @@ func Lookup(id string) (Experiment, bool) {
 func Experiments() []Experiment {
 	out := make([]Experiment, 0, len(registry))
 	for _, e := range registry {
-		out = append(out, e)
+		out = append(out, e) //lint:ignore maporder out is sorted by ID immediately below
 	}
 	sort.Slice(out, func(i, j int) bool {
 		// Numeric-aware: E2 before E10.
@@ -338,12 +338,12 @@ func runTimed(e Experiment, cfg Config) (*Table, error) {
 		return nil, err // dead on arrival: don't start the run at all
 	}
 	workers := engine.Shared().Workers()
-	start := time.Now()
+	start := time.Now() //lint:ignore notime engine metrics timing, excluded from formatted tables and normalized out of goldens
 	t, err := e.Run(cfg)
 	if err != nil {
 		return nil, err
 	}
-	wall := time.Since(start).Seconds()
+	wall := time.Since(start).Seconds() //lint:ignore notime engine metrics timing, excluded from formatted tables and normalized out of goldens
 	t.Metrics.WallSeconds = wall
 	t.Metrics.Workers = workers
 	if wall > 0 {

@@ -175,9 +175,16 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	snap := NewSnapshot(cfg, []*Table{tb}, 3*time.Second)
+	at := time.Date(2020, 7, 15, 12, 0, 0, 0, time.UTC)
+	snap := NewSnapshot(cfg, []*Table{tb}, 3*time.Second, at)
 	if snap.SchemaVersion != SnapshotSchemaVersion {
 		t.Fatalf("schema version %d", snap.SchemaVersion)
+	}
+	if snap.GeneratedAt != "2020-07-15T12:00:00Z" {
+		t.Errorf("GeneratedAt %q not the injected timestamp", snap.GeneratedAt)
+	}
+	if zero := NewSnapshot(cfg, []*Table{tb}, 0, time.Time{}); zero.GeneratedAt != "" {
+		t.Errorf("zero clock should omit GeneratedAt, got %q", zero.GeneratedAt)
 	}
 	buf, err := snap.MarshalIndentJSON()
 	if err != nil {

@@ -26,11 +26,19 @@ type Snapshot struct {
 	Experiments      []*Table `json:"experiments"`
 }
 
-// NewSnapshot assembles a snapshot from a run's tables.
-func NewSnapshot(cfg Config, tables []*Table, totalWall time.Duration) *Snapshot {
+// NewSnapshot assembles a snapshot from a run's tables. The timestamp is
+// injected by the caller rather than read here — this package produces the
+// bodies that golden files and the service's content-addressed cache
+// compare byte-for-byte, so it must never touch the wall clock itself. A
+// zero generatedAt omits the field entirely (deterministic snapshots).
+func NewSnapshot(cfg Config, tables []*Table, totalWall time.Duration, generatedAt time.Time) *Snapshot {
+	gen := ""
+	if !generatedAt.IsZero() {
+		gen = generatedAt.UTC().Format(time.RFC3339)
+	}
 	return &Snapshot{
 		SchemaVersion:    SnapshotSchemaVersion,
-		GeneratedAt:      time.Now().UTC().Format(time.RFC3339),
+		GeneratedAt:      gen,
 		Config:           cfg,
 		TotalWallSeconds: totalWall.Seconds(),
 		Experiments:      tables,

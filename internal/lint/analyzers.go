@@ -1,0 +1,24 @@
+package lint
+
+// Analyzers returns every shipped check, in reporting-name order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{ErrCheck, MapOrder, MutexCopy, NoRand, NoTime}
+}
+
+// DefaultScopes is the repository policy for where each check applies,
+// keyed by check name with module-relative package paths. Checks without
+// an entry run everywhere.
+//
+//   - norand runs everywhere except internal/xrand, the one package allowed
+//     to own a generator (it wraps SplitMix64 and hands out seeded streams).
+//   - notime runs only in the result-producing packages: internal/core
+//     builds the tables that golden files and BENCH_*.json snapshots are
+//     compared against, and internal/service persists bodies in the
+//     content-addressed cache. Timing/metrics code inside them must carry
+//     //lint:ignore notime annotations.
+func DefaultScopes() map[string]Scope {
+	return map[string]Scope{
+		"norand": {Exclude: []string{"internal/xrand"}},
+		"notime": {Only: []string{"internal/core", "internal/service"}},
+	}
+}

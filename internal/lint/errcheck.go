@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheck flags discarded error returns from the call families that have
+// already bitten this repository: the fmt scan functions (PR 1 shipped an
+// unchecked Sscanf that parsed malformed experiment IDs as 0), strconv
+// parsers (same zero-value failure mode), io.Writer.Write, and the
+// encoding/json marshal/encode family. It flags both a bare call statement
+// (every result dropped) and an assignment that sends the error result to
+// the blank identifier; a genuinely infallible discard takes a
+// //lint:ignore errcheck with its justification.
+//
+// Writes to *strings.Builder and *bytes.Buffer are exempt: both document
+// that their Write methods never return a non-nil error.
+var ErrCheck = &Analyzer{
+	Name: "errcheck",
+	Doc:  "forbid discarding errors from fmt scans, strconv parsers, io.Writer.Write, and json marshalling",
+	Run:  runErrCheck,
+}
+
+// watchedStdFuncs maps package path -> function names whose error result
+// must be checked.
+var watchedStdFuncs = map[string]map[string]bool{
+	"fmt": {
+		"Sscan": true, "Sscanf": true, "Sscanln": true,
+		"Fscan": true, "Fscanf": true, "Fscanln": true,
+	},
+	"strconv": {
+		"Atoi": true, "ParseInt": true, "ParseUint": true,
+		"ParseFloat": true, "ParseBool": true, "ParseComplex": true,
+		"Unquote": true,
+	},
+	"encoding/json": {
+		"Marshal": true, "MarshalIndent": true, "Unmarshal": true,
+		// Methods on Encoder/Decoder resolve to the same package path.
+		"Encode": true, "Decode": true,
+	},
+}
+
+// infallibleWriters are receiver types whose Write methods are documented
+// to always return a nil error.
+var infallibleWriters = map[string]bool{
+	"strings.Builder": true,
+	"bytes.Buffer":    true,
+}
+
+func runErrCheck(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if name, bad := watchedCall(p.Info, call); bad {
+						p.Reportf(call.Pos(), "result of %s discarded: the error must be checked", name)
+					}
+				}
+			case *ast.GoStmt:
+				if name, bad := watchedCall(p.Info, n.Call); bad {
+					p.Reportf(n.Call.Pos(), "result of %s discarded by go statement: the error must be checked", name)
+				}
+			case *ast.DeferStmt:
+				if name, bad := watchedCall(p.Info, n.Call); bad {
+					p.Reportf(n.Call.Pos(), "result of %s discarded by defer: the error must be checked", name)
+				}
+			case *ast.AssignStmt:
+				checkAssign(p, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkAssign flags `v, _ := strconv.Atoi(s)`-shaped statements: a single
+// watched call on the right whose final (error) result lands in the blank
+// identifier.
+func checkAssign(p *Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(as.Lhs) < 1 {
+		return
+	}
+	name, bad := watchedCall(p.Info, call)
+	if !bad {
+		return
+	}
+	last, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident)
+	if !ok || last.Name != "_" {
+		return
+	}
+	p.Reportf(call.Pos(), "error from %s assigned to _: the error must be checked", name)
+}
+
+// watchedCall resolves call's callee and reports whether discarding its
+// error is forbidden, returning a display name for the message.
+func watchedCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	if names, ok := watchedStdFuncs[fn.Pkg().Path()]; ok && names[fn.Name()] {
+		return fn.FullName(), true
+	}
+	if isWriterWrite(fn) {
+		if recv := receiverTypeName(fn); infallibleWriters[recv] {
+			return "", false
+		}
+		return fn.FullName(), true
+	}
+	return "", false
+}
+
+// calleeFunc resolves the static callee of a call, or nil for indirect
+// calls, conversions, and builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isWriterWrite reports whether fn has the exact io.Writer.Write shape:
+// a method named Write taking ([]byte) and returning (int, error).
+func isWriterWrite(fn *types.Func) bool {
+	if fn.Name() != "Write" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	if sig.Params().Len() != 1 || sig.Results().Len() != 2 {
+		return false
+	}
+	slice, ok := sig.Params().At(0).Type().(*types.Slice)
+	if !ok || !types.Identical(slice.Elem(), types.Typ[types.Byte]) {
+		return false
+	}
+	if b, ok := sig.Results().At(0).Type().(*types.Basic); !ok || b.Kind() != types.Int {
+		return false
+	}
+	named, ok := sig.Results().At(1).Type().(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// receiverTypeName returns the "pkg.Type" name of fn's receiver base type,
+// or "" when it has none.
+func receiverTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Name() + "." + named.Obj().Name()
+}

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParseIgnoreDirective drives arbitrary comment text through the
+// suppression-directive parser. The contract under fuzzing is the safety
+// property the whole gate rests on: malformed input must degrade to "not a
+// suppression" (ok == false, no partial results) — never to a panic and
+// never to a directive with an empty check list or empty reason, either of
+// which could silently widen what gets suppressed.
+func FuzzParseIgnoreDirective(f *testing.F) {
+	for _, seed := range []string{
+		"//lint:ignore norand seeded baseline",
+		"//lint:ignore errcheck,maporder both fine here",
+		"//lint:ignore notime metrics timing",
+		"//lint:ignore a-b_2 reason with several words",
+		"//lint:ignore",
+		"//lint:ignore norand",
+		"//lint:ignorenorand reason",
+		"//lint:ignore ,norand reason",
+		"//lint:ignore nor&and reason",
+		"//lint:ignore errcheck,,maporder reason",
+		"// lint:ignore norand reason",
+		"/*lint:ignore norand reason*/",
+		"//lint:ignore\tnorand\treason",
+		"//lint:ignore \x00 reason",
+		"//lint:ignore норанд причина",
+		"//lint:ignore norand ",
+		"lint:ignore norand reason",
+		"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		checks, reason, ok := ParseIgnoreDirective(text)
+		if !ok {
+			if checks != nil || reason != "" {
+				t.Fatalf("ParseIgnoreDirective(%q): partial results %v/%q despite !ok", text, checks, reason)
+			}
+			return
+		}
+		if len(checks) == 0 {
+			t.Fatalf("ParseIgnoreDirective(%q): ok with empty check list would suppress nothing — or everything", text)
+		}
+		for _, c := range checks {
+			if c == "" || strings.ContainsAny(c, ", \t") || !validCheckName(c) {
+				t.Fatalf("ParseIgnoreDirective(%q): invalid check token %q accepted", text, c)
+			}
+		}
+		if strings.TrimSpace(reason) == "" {
+			t.Fatalf("ParseIgnoreDirective(%q): ok with blank reason %q", text, reason)
+		}
+		if !strings.HasPrefix(text, "//lint:ignore") {
+			t.Fatalf("ParseIgnoreDirective(%q): accepted text outside the directive namespace", text)
+		}
+		if !utf8.ValidString(reason) && utf8.ValidString(text) {
+			t.Fatalf("ParseIgnoreDirective(%q): invented invalid UTF-8 in reason %q", text, reason)
+		}
+		// A well-formed directive must actually suppress its own checks and
+		// nothing else, on exactly its own and the following line.
+		d := ignoreDirective{checks: checks, line: 7}
+		for _, c := range checks {
+			if !d.suppresses(c, 7) || !d.suppresses(c, 8) {
+				t.Fatalf("ParseIgnoreDirective(%q): parsed directive fails to suppress %q", text, c)
+			}
+			if d.suppresses(c, 6) || d.suppresses(c, 9) {
+				t.Fatalf("ParseIgnoreDirective(%q): directive for %q leaks beyond its two lines", text, c)
+			}
+		}
+	})
+}

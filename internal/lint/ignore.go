@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive. The full form is
+//
+//	//lint:ignore <check>[,<check>...] <reason>
+//
+// No space is allowed between "//" and "lint:ignore" (matching the
+// convention of //go: directives), and the reason is mandatory.
+const ignorePrefix = "//lint:ignore"
+
+// directivePrefix is the namespace every lint comment must live in. A
+// comment starting with this prefix that does not parse as a valid ignore
+// directive is reported as a diagnostic instead of being silently skipped,
+// so a typo can never disable a check without anyone noticing.
+const directivePrefix = "//lint:"
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	checks []string // check names this directive suppresses
+	reason string
+	file   string
+	line   int // line the directive comment starts on
+}
+
+// suppresses reports whether the directive applies to a diagnostic of the
+// given check at the given line. A directive covers its own line (trailing
+// comment) and the line directly below (directive on a line of its own).
+func (d ignoreDirective) suppresses(check string, line int) bool {
+	if line != d.line && line != d.line+1 {
+		return false
+	}
+	for _, c := range d.checks {
+		if c == check {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseIgnoreDirective parses the raw text of a single comment (including
+// its "//" marker). It returns the suppressed check names and the
+// mandatory reason, with ok reporting whether text is a well-formed
+// directive. Malformed input — a missing reason, an empty or malformed
+// check list, a block comment, stray whitespace inside the marker — yields
+// ok == false and never panics: a broken directive must degrade to "not a
+// suppression", not to a silent global one.
+func ParseIgnoreDirective(text string) (checks []string, reason string, ok bool) {
+	if !strings.HasPrefix(text, ignorePrefix) {
+		return nil, "", false
+	}
+	rest := text[len(ignorePrefix):]
+	// The marker must be followed by whitespace: "//lint:ignoreX" is not a
+	// directive (it is reported as a malformed //lint: comment instead).
+	if rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
+		return nil, "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return nil, "", false // no check list, or no reason
+	}
+	for _, c := range strings.Split(fields[0], ",") {
+		if !validCheckName(c) {
+			return nil, "", false
+		}
+		checks = append(checks, c)
+	}
+	return checks, strings.Join(fields[1:], " "), true
+}
+
+// validCheckName reports whether s could name a check: non-empty ASCII
+// letters, digits, '_' or '-'. Anything else (including an empty element
+// from a stray comma) invalidates the whole directive.
+func validCheckName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		b := s[i]
+		switch {
+		case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z',
+			b >= '0' && b <= '9', b == '_', b == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// collectDirectives walks a file's comments, returning its well-formed
+// ignore directives and a diagnostic for every malformed //lint: comment.
+func collectDirectives(fset *token.FileSet, f *ast.File) (ds []ignoreDirective, malformed []Diagnostic) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, directivePrefix) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			checks, reason, ok := ParseIgnoreDirective(c.Text)
+			if !ok {
+				malformed = append(malformed, Diagnostic{
+					Check:   DirectiveCheck,
+					Pos:     pos,
+					Message: "malformed //lint: directive (want //lint:ignore <check>[,<check>] <reason>): " + c.Text,
+				})
+				continue
+			}
+			ds = append(ds, ignoreDirective{
+				checks: checks,
+				reason: reason,
+				file:   pos.Filename,
+				line:   pos.Line,
+			})
+		}
+	}
+	return ds, malformed
+}

@@ -1,0 +1,278 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one parsed, type-checked, non-test package of the module.
+type Package struct {
+	Path  string // full import path, e.g. "repro/internal/core"
+	Rel   string // module-relative path, "" for the module root
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Module is the whole repository, loaded once. All packages share one
+// FileSet and one (caching) source importer for the standard library.
+type Module struct {
+	Root string // absolute module root directory
+	Path string // module path from go.mod
+	Fset *token.FileSet
+	Pkgs []*Package // dependency order, then by path
+}
+
+// Lookup returns the package with the given module-relative path.
+func (m *Module) Lookup(rel string) *Package {
+	for _, p := range m.Pkgs {
+		if p.Rel == rel {
+			return p
+		}
+	}
+	return nil
+}
+
+// LoadModule parses and type-checks every non-test package under root
+// (which must contain go.mod). Directories named testdata or vendor,
+// hidden directories, and _-prefixed directories are skipped — testdata
+// packages deliberately contain the violations the checks hunt for.
+func LoadModule(root string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	mod := &Module{Root: root, Path: modPath, Fset: fset}
+
+	type parsed struct {
+		pkg     *Package
+		imports map[string]bool // module-internal imports only
+	}
+	byPath := map[string]*parsed{}
+
+	err = filepath.WalkDir(root, func(dir string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if dir != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		files, perr := parseDir(fset, dir)
+		if perr != nil {
+			return perr
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		rel, rerr := filepath.Rel(root, dir)
+		if rerr != nil {
+			return rerr
+		}
+		rel = filepath.ToSlash(rel)
+		if rel == "." {
+			rel = ""
+		}
+		importPath := modPath
+		if rel != "" {
+			importPath = modPath + "/" + rel
+		}
+		p := &parsed{
+			pkg:     &Package{Path: importPath, Rel: rel, Dir: dir, Fset: fset, Files: files},
+			imports: map[string]bool{},
+		}
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				path, uerr := strconv.Unquote(imp.Path.Value)
+				if uerr != nil {
+					continue
+				}
+				if path == modPath || strings.HasPrefix(path, modPath+"/") {
+					p.imports[path] = true
+				}
+			}
+		}
+		byPath[importPath] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Type-check in dependency order so module-internal imports resolve to
+	// already-checked packages. Import cycles cannot occur in compilable Go;
+	// if one sneaks in (the tree is broken), fail with the remainder listed.
+	checked := map[string]*types.Package{}
+	imp := &moduleImporter{
+		checked: checked,
+		source:  importer.ForCompiler(fset, "source", nil),
+	}
+	order := make([]string, 0, len(byPath))
+	for path := range byPath {
+		order = append(order, path) //lint:ignore maporder order is sorted immediately below
+	}
+	sort.Strings(order)
+	for len(order) > 0 {
+		progress := false
+		var remaining []string
+		for _, path := range order {
+			p := byPath[path]
+			ready := true
+			for dep := range p.imports {
+				if _, ok := checked[dep]; !ok {
+					if _, internal := byPath[dep]; internal {
+						ready = false
+						break
+					}
+				}
+			}
+			if !ready {
+				remaining = append(remaining, path)
+				continue
+			}
+			if err := typeCheck(p.pkg, imp); err != nil {
+				return nil, err
+			}
+			checked[path] = p.pkg.Types
+			mod.Pkgs = append(mod.Pkgs, p.pkg)
+			progress = true
+		}
+		if !progress {
+			return nil, fmt.Errorf("lint: import cycle or missing dependency among %s", strings.Join(remaining, ", "))
+		}
+		order = remaining
+	}
+	return mod, nil
+}
+
+// LoadDir parses and type-checks the single package in dir against the
+// standard library only. The analyzer test harness uses it to load
+// testdata packages that the module walk deliberately skips.
+func LoadDir(dir string) (*Package, error) {
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	pkg := &Package{
+		Path:  files[0].Name.Name,
+		Rel:   files[0].Name.Name,
+		Dir:   dir,
+		Fset:  fset,
+		Files: files,
+	}
+	imp := &moduleImporter{
+		checked: map[string]*types.Package{},
+		source:  importer.ForCompiler(fset, "source", nil),
+	}
+	if err := typeCheck(pkg, imp); err != nil {
+		return nil, err
+	}
+	return pkg, nil
+}
+
+// parseDir parses the non-test Go files of dir (with comments, which the
+// suppression directives live in), sorted by file name for determinism.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	pkgName := ""
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		} else if f.Name.Name != pkgName {
+			return nil, fmt.Errorf("lint: %s holds two packages (%s and %s); build-tagged dirs are not supported", dir, pkgName, f.Name.Name)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// typeCheck populates pkg.Types and pkg.Info.
+func typeCheck(pkg *Package, imp types.Importer) error {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	cfg := &types.Config{Importer: imp}
+	tpkg, err := cfg.Check(pkg.Path, pkg.Fset, pkg.Files, info)
+	if err != nil {
+		return fmt.Errorf("lint: type-checking %s: %w", pkg.Path, err)
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	return nil
+}
+
+// moduleImporter resolves module-internal imports to packages this run
+// already type-checked, and everything else (the standard library — the
+// module has no external dependencies) through the caching source importer.
+type moduleImporter struct {
+	checked map[string]*types.Package
+	source  types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.checked[path]; ok {
+		return p, nil
+	}
+	return m.source.Import(path)
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			mp := strings.TrimSpace(rest)
+			mp = strings.Trim(mp, `"`)
+			if mp != "" {
+				return mp, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s", gomod)
+}

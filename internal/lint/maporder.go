@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags range-over-map loops whose bodies produce ordered output:
+// writing to an io.Writer (or builder), feeding JSON encoding, or
+// appending to a slice declared outside the loop. Go randomizes map
+// iteration order on purpose, so any of these turns a deterministic
+// experiment into one whose bytes shuffle between runs — the exact drift
+// class the CLI/server shared-entry work in PR 2 existed to kill. The fix
+// is to collect keys, sort, and iterate the sorted slice; a loop that is
+// provably order-insensitive (e.g. the slice is sorted immediately after)
+// documents that with //lint:ignore maporder.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "forbid order-sensitive output (writers, JSON, escaping appends) inside range-over-map bodies",
+	Run:  runMapOrder,
+}
+
+// orderedSinkFuncs are package functions whose call inside a map-range body
+// makes iteration order observable.
+var orderedSinkFuncs = map[string]map[string]bool{
+	"fmt": {
+		"Fprint": true, "Fprintf": true, "Fprintln": true,
+		"Print": true, "Printf": true, "Println": true,
+	},
+	"encoding/json": {"Marshal": true, "MarshalIndent": true, "Encode": true},
+}
+
+// orderedSinkMethods are method names that emit bytes in call order on any
+// receiver (io.Writer implementations, strings.Builder, bytes.Buffer).
+var orderedSinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+func runMapOrder(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRangeBody(p, rng)
+			return true
+		})
+	}
+}
+
+func checkMapRangeBody(p *Pass, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, sink := orderedSink(p.Info, n); sink {
+				p.Reportf(n.Pos(), "%s inside range over map: iteration order is nondeterministic; sort the keys first", name)
+			}
+		case *ast.AssignStmt:
+			checkEscapingAppend(p, rng, n)
+		}
+		return true
+	})
+}
+
+// checkEscapingAppend flags `out = append(out, ...)` where out is declared
+// outside the range statement: the appended order — and therefore whatever
+// out is later used for — follows map iteration order.
+func checkEscapingAppend(p *Pass, rng *ast.RangeStmt, as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(p.Info, call) || i >= len(as.Lhs) {
+			continue
+		}
+		id, ok := as.Lhs[i].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := p.Info.ObjectOf(id)
+		if obj == nil {
+			continue
+		}
+		if obj.Pos() < rng.Pos() || obj.Pos() > rng.End() {
+			p.Reportf(call.Pos(), "append to %s (declared outside the loop) inside range over map: element order is nondeterministic; sort the keys first or sort %s afterwards", id.Name, id.Name)
+		}
+	}
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// orderedSink reports whether call writes ordered output, with a display
+// name for the message.
+func orderedSink(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	if names, ok := orderedSinkFuncs[fn.Pkg().Path()]; ok && names[fn.Name()] {
+		return fn.FullName(), true
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && orderedSinkMethods[fn.Name()] {
+		return fn.FullName(), true
+	}
+	return "", false
+}

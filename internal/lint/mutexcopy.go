@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MutexCopy flags by-value copies of values whose type (transitively,
+// through struct fields and arrays) contains a sync.Mutex, sync.RWMutex,
+// sync.WaitGroup, sync.Once or sync.Cond. The service's result cache and
+// metrics are intrusive mutex-bearing structs; copying one silently forks
+// the lock from the state it guards, which is a data race that -race only
+// catches if the copy happens to be exercised under contention. go vet has
+// a copylocks pass too — this one runs in the same gate as the
+// repo-specific checks so the whole invariant set fails closed together.
+var MutexCopy = &Analyzer{
+	Name: "mutexcopy",
+	Doc:  "forbid by-value copies of structs containing sync.Mutex/RWMutex/WaitGroup/Once/Cond",
+	Run:  runMutexCopy,
+}
+
+// lockTypes are the sync types that must never be copied after first use.
+var lockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true, "Cond": true,
+}
+
+func runMutexCopy(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFuncSig(p, n.Recv, n.Type)
+			case *ast.FuncLit:
+				checkFuncSig(p, nil, n.Type)
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					checkCopyExpr(p, rhs, "assignment")
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					checkCopyExpr(p, v, "variable initialization")
+				}
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					checkCopyExpr(p, r, "return")
+				}
+			case *ast.CallExpr:
+				if isBuiltinAppend(p.Info, n) {
+					return true // append's first arg is the slice itself
+				}
+				for _, arg := range n.Args {
+					checkCopyExpr(p, arg, "call argument")
+				}
+			case *ast.RangeStmt:
+				if id, ok := n.Value.(*ast.Ident); ok && id.Name == "_" {
+					return true // discarded, nothing escapes the copy
+				}
+				if n.Value != nil {
+					if t := p.Info.TypeOf(n.Value); t != nil && containsLock(t, nil) {
+						p.Reportf(n.Value.Pos(), "range copies %s by value: element contains a lock; iterate by index or use pointers", types.TypeString(t, types.RelativeTo(p.Pkg)))
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkFuncSig flags by-value lock-bearing receivers, parameters and
+// results in a function signature.
+func checkFuncSig(p *Pass, recv *ast.FieldList, ft *ast.FuncType) {
+	for _, fl := range []*ast.FieldList{recv, ft.Params, ft.Results} {
+		if fl == nil {
+			continue
+		}
+		for _, field := range fl.List {
+			t := p.Info.TypeOf(field.Type)
+			if t != nil && containsLock(t, nil) {
+				p.Reportf(field.Type.Pos(), "%s passed by value contains a lock; use a pointer", types.TypeString(t, types.RelativeTo(p.Pkg)))
+			}
+		}
+	}
+}
+
+// checkCopyExpr flags expr when evaluating it copies an existing
+// lock-bearing value. Composite literals and calls construct fresh values
+// (a fresh zero lock is fine to move); reading an existing variable,
+// field, element or dereference is a copy.
+func checkCopyExpr(p *Pass, expr ast.Expr, context string) {
+	e := ast.Unparen(expr)
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return
+	}
+	t := p.Info.TypeOf(e)
+	if t == nil || !containsLock(t, nil) {
+		return
+	}
+	// Selecting a method value (m.Lock) types as a func, not the struct,
+	// so no special-casing is needed; plain package names type as nil.
+	p.Reportf(expr.Pos(), "%s copies %s by value, forking its lock from the state it guards; use a pointer", context, types.TypeString(t, types.RelativeTo(p.Pkg)))
+}
+
+// containsLock reports whether t transitively holds one of the sync lock
+// types by value. seen guards against recursive named types.
+func containsLock(t types.Type, seen map[*types.Named]bool) bool {
+	switch t := types.Unalias(t).(type) {
+	case *types.Named:
+		if obj := t.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync" && lockTypes[obj.Name()] {
+			return true
+		}
+		if seen[t] {
+			return false
+		}
+		if seen == nil {
+			seen = map[*types.Named]bool{}
+		}
+		seen[t] = true
+		return containsLock(t.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if containsLock(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(t.Elem(), seen)
+	}
+	return false
+}

@@ -1,0 +1,29 @@
+package lint
+
+import "strconv"
+
+// NoRand forbids math/rand and math/rand/v2. Every experiment's claim of
+// seed-reproducibility depends on all randomness flowing through
+// internal/xrand's explicitly seeded SplitMix64 streams; a single global
+// math/rand call silently breaks byte-identical tables. The default scope
+// exempts internal/xrand itself, which is the one place allowed to own a
+// generator.
+var NoRand = &Analyzer{
+	Name: "norand",
+	Doc:  "forbid math/rand imports; randomness must flow through seeded internal/xrand streams",
+	Run:  runNoRand,
+}
+
+func runNoRand(p *Pass) {
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				p.Reportf(imp.Pos(), "import of %s: all randomness must come from seeded internal/xrand sources", path)
+			}
+		}
+	}
+}

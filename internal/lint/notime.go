@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoTime forbids reading the wall clock in result-producing packages. A
+// time.Now that leaks into a table, a cached body, or golden JSON makes
+// two runs of the same seed differ, which breaks the content-addressed
+// result cache and every byte-identical-output test. The default scope
+// restricts this check to internal/core and internal/service; genuine
+// timing/metrics code inside them must carry an explicit
+// //lint:ignore notime annotation.
+var NoTime = &Analyzer{
+	Name: "notime",
+	Doc:  "forbid time.Now/Since/Until in result-producing packages (inject a clock, or annotate timing code)",
+	Run:  runNoTime,
+}
+
+// clockFuncs are the package time functions that read the wall clock.
+var clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runNoTime(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !clockFuncs[sel.Sel.Name] {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := p.Info.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "time" {
+				return true
+			}
+			p.Reportf(sel.Pos(), "time.%s in a result-producing package: inject the timestamp or clock from the caller, or annotate metrics code with //lint:ignore notime <reason>", sel.Sel.Name)
+			return true
+		})
+	}
+}

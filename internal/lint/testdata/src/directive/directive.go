@@ -1,0 +1,26 @@
+// Package directive holds malformed //lint: comments. Every one of them
+// must be reported by the driver (they can never silently suppress), and
+// the violation below a malformed directive must still fire.
+package directive
+
+import "strconv"
+
+//lint:ignore
+func missingEverything() {}
+
+func missingReason(s string) {
+	//lint:ignore errcheck
+	strconv.Atoi(s)
+}
+
+//lint:ignoreerrcheck glued marker is not a directive
+func gluedMarker() {}
+
+//lint:typo errcheck unknown verbs are malformed too
+func unknownVerb() {}
+
+//lint:ignore err!check bad characters in the check list
+func badCheckName() {}
+
+//lint:ignore errcheck,,maporder empty element poisons the whole list
+func emptyListElement() {}

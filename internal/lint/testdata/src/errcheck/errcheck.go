@@ -1,0 +1,57 @@
+// Package errcheck exercises the errcheck check: discarded errors from the
+// fmt scan family, strconv parsers, io.Writer.Write and json marshalling
+// are flagged; infallible builders and annotated discards are not.
+package errcheck
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func scans(s string) int {
+	var x int
+	fmt.Sscanf(s, "%d", &x)                            // want "result of fmt.Sscanf discarded"
+	n, _ := fmt.Sscanf(s, "%d", &x)                    // want "error from fmt.Sscanf assigned to _"
+	if _, err := fmt.Sscanf(s, "%d", &x); err != nil { // ok: error checked
+		return 0
+	}
+	return n + x
+}
+
+func parses(s string) int64 {
+	v, _ := strconv.Atoi(s)               // want "error from strconv.Atoi assigned to _"
+	strconv.Atoi(s)                       // want "result of strconv.Atoi discarded"
+	w, err := strconv.ParseInt(s, 10, 64) // ok: error checked
+	if err != nil {
+		return 0
+	}
+	return w + int64(v)
+}
+
+func writes(w io.Writer, f *os.File, data []byte) int {
+	w.Write(data) // want "result of .io.Writer..Write discarded"
+	f.Write(data) // want "os.File..Write discarded"
+	var sb strings.Builder
+	sb.Write(data) // ok: strings.Builder.Write never fails
+	var buf bytes.Buffer
+	buf.Write(data)       // ok: bytes.Buffer.Write never fails
+	n, _ := f.Write(data) // want "os.File..Write assigned to _"
+	defer f.Write(data)   // want "discarded by defer"
+	return n + sb.Len() + buf.Len()
+}
+
+func marshals(v interface{}, w io.Writer) []byte {
+	json.Marshal(v)         // want "result of encoding/json.Marshal discarded"
+	b, _ := json.Marshal(v) // want "error from encoding/json.Marshal assigned to _"
+	enc := json.NewEncoder(w)
+	enc.Encode(v)      // want "Encoder..Encode discarded"
+	go json.Marshal(v) // want "discarded by go statement"
+	//lint:ignore errcheck best-effort debug dump, failure is acceptable here
+	json.Marshal(v) // suppressed "result of encoding/json.Marshal discarded"
+	return b
+}

@@ -1,0 +1,53 @@
+// Package maporder exercises the maporder check: order-sensitive sinks
+// inside range-over-map bodies are flagged; iteration over sorted key
+// slices and order-insensitive accumulation are not.
+package maporder
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func leaky(m map[string]int, w io.Writer) string {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "Fprintf inside range over map"
+	}
+	var sb strings.Builder
+	for k := range m {
+		sb.WriteString(k) // want "WriteString inside range over map"
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k) // want "append to out .declared outside the loop."
+	}
+	enc := json.NewEncoder(w)
+	for k := range m {
+		enc.Encode(k) // want "Encode inside range over map"
+	}
+	return sb.String() + strings.Join(out, ",")
+}
+
+func fine(m map[string]int, w io.Writer) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		//lint:ignore maporder keys is sorted before any order-sensitive use
+		keys = append(keys, k) // suppressed "append to keys"
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintln(w, k, m[k]) // ok: ranging a sorted slice
+	}
+	total := 0
+	for _, v := range m {
+		total += v // ok: order-insensitive accumulation
+	}
+	for k, v := range m {
+		pair := make([]string, 0, 2)
+		pair = append(pair, k, fmt.Sprint(v)) // ok: pair is loop-local
+		_ = pair
+	}
+	fmt.Fprintln(w, total)
+}

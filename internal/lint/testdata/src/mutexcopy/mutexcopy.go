@@ -1,0 +1,66 @@
+// Package mutexcopy exercises the mutexcopy check: by-value copies of
+// lock-bearing structs (directly or through nesting and arrays) are
+// flagged; pointers, composite literals and annotated constructor-style
+// moves are not.
+package mutexcopy
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type nested struct {
+	inner guarded
+}
+
+func (g *guarded) bump() {
+	g.mu.Lock() // ok: method call through pointer receiver
+	g.n++
+	g.mu.Unlock()
+}
+
+func byValueParam(g guarded) int { // want "guarded passed by value contains a lock"
+	return g.n
+}
+
+func okPointerParam(g *guarded) int {
+	return g.n
+}
+
+func byValueRecv(g guarded) {} // want "passed by value contains a lock"
+
+func assigns(a *guarded, arr *[2]nested) *guarded {
+	b := *a     // want "assignment copies guarded by value"
+	c := arr[0] // want "assignment copies nested by value"
+	var d = b.n + c.inner.n
+	fresh := guarded{n: d} // ok: composite literal constructs a fresh value
+	return &fresh
+}
+
+func returnsCopy(g *guarded) guarded { // want "guarded passed by value contains a lock"
+	return *g // want "return copies guarded by value"
+}
+
+func callsCopy(g *guarded) {
+	use(*g) // want "call argument copies guarded by value"
+}
+
+func use(v interface{}) {}
+
+func ranges(xs []guarded) int {
+	total := 0
+	for _, x := range xs { // want "range copies guarded by value"
+		total += x.n
+	}
+	for i := range xs { // ok: indexing leaves the locks in place
+		total += xs[i].n
+	}
+	return total
+}
+
+//lint:ignore mutexcopy the zero value is moved before any lock is ever taken
+func makeGuarded() guarded { // suppressed "passed by value contains a lock"
+	return guarded{} // ok: composite literal
+}

@@ -1,0 +1,15 @@
+// Package norand exercises the norand check: math/rand in either
+// generation is forbidden; the annotated import is the escape hatch.
+package norand
+
+import (
+	"fmt"
+	"math/rand"          // want "import of math/rand: all randomness must come from seeded internal/xrand sources"
+	mrand "math/rand/v2" // want "import of math/rand/v2"
+	//lint:ignore norand baseline generator for comparing distributions in tests
+	orand "math/rand" // suppressed "import of math/rand"
+)
+
+func use() {
+	fmt.Println(rand.Int(), mrand.IntN(3), orand.Int())
+}

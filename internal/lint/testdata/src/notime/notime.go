@@ -1,0 +1,41 @@
+// Package notime exercises the notime check: wall-clock reads are
+// forbidden in result-producing packages, type-only uses of package time
+// are fine, and annotated metrics timing is suppressed.
+package notime
+
+import (
+	"fmt"
+	"time"
+	clock "time"
+)
+
+func stamp() string {
+	return time.Now().String() // want "time.Now in a result-producing package"
+}
+
+func age(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since in a result-producing package"
+}
+
+func remaining(t0 clock.Time) clock.Duration {
+	return clock.Until(t0) // want "time.Until in a result-producing package"
+}
+
+// okTypesOnly uses package time for types and constants only.
+func okTypesOnly(d time.Duration) time.Duration {
+	return d + 3*time.Second
+}
+
+// Now is a local function; calling it must not be confused with time.Now.
+func Now() int { return 42 }
+
+func okLocalNow() {
+	fmt.Println(Now())
+}
+
+func metricsTimed() time.Duration {
+	//lint:ignore notime metrics-only timing, never serialized into results
+	start := time.Now() // suppressed "time.Now in a result-producing package"
+	//lint:ignore notime metrics-only timing, never serialized into results
+	return time.Since(start) // suppressed "time.Since in a result-producing package"
+}

@@ -52,7 +52,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(v) // the client is gone if this fails; nothing to do
+	//lint:ignore errcheck the client is gone if encoding to it fails; nothing to do
+	_ = enc.Encode(v)
 }
 
 // writeError maps an error onto a status and a typed body.

@@ -1,0 +1,215 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+// Chi-square goodness-of-fit tests for the box-size samplers. cadaptivelint
+// makes xrand the only randomness source in the repository, so the
+// distributions feeding every Monte-Carlo experiment deserve direct
+// statistical scrutiny, not just moment spot-checks. All tests run under
+// fixed seeds, so they are deterministic: the thresholds are p = 0.001
+// critical values, checked once, and a passing seed passes forever.
+
+// chiSquareCrit maps degrees of freedom to the p = 0.001 upper critical
+// value of the chi-square distribution.
+var chiSquareCrit = map[int]float64{
+	1:  10.828,
+	3:  16.266,
+	7:  24.322,
+	9:  27.877,
+	10: 29.588,
+	15: 37.697,
+}
+
+// chiSquare returns the statistic for observed counts against expected
+// probabilities over n draws. Bins with expected count below ~5 make the
+// statistic unreliable, so the caller must bin accordingly.
+func chiSquare(t *testing.T, obs []int, probs []float64, n int) float64 {
+	t.Helper()
+	if len(obs) != len(probs) {
+		t.Fatalf("%d observed bins, %d probabilities", len(obs), len(probs))
+	}
+	stat := 0.0
+	for i, o := range obs {
+		exp := probs[i] * float64(n)
+		if exp < 5 {
+			t.Fatalf("bin %d expects only %.2f draws; rebin", i, exp)
+		}
+		d := float64(o) - exp
+		stat += d * d / exp
+	}
+	return stat
+}
+
+func TestUniformSamplerChiSquare(t *testing.T) {
+	u, err := NewUniform(1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32000
+	src := New(101)
+	obs := make([]int, 16)
+	probs := make([]float64, 16)
+	for i := range probs {
+		probs[i] = 1.0 / 16
+	}
+	for i := 0; i < n; i++ {
+		v := u.Sample(src)
+		if v < 1 || v > 16 {
+			t.Fatalf("sample %d outside [1,16]", v)
+		}
+		obs[v-1]++
+	}
+	if stat := chiSquare(t, obs, probs, n); stat > chiSquareCrit[15] {
+		t.Errorf("uniform[1,16] chi-square %.2f > %.2f (df=15, p=0.001)", stat, chiSquareCrit[15])
+	}
+}
+
+func TestTwoPointSamplerChiSquare(t *testing.T) {
+	tp, err := NewTwoPoint(2, 1024, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	src := New(202)
+	obs := make([]int, 2)
+	for i := 0; i < n; i++ {
+		switch tp.Sample(src) {
+		case 2:
+			obs[0]++
+		case 1024:
+			obs[1]++
+		default:
+			t.Fatal("two-point sampler produced a third value")
+		}
+	}
+	probs := []float64{1 - tp.PBig, tp.PBig}
+	if stat := chiSquare(t, obs, probs, n); stat > chiSquareCrit[1] {
+		t.Errorf("two-point chi-square %.2f > %.2f (df=1, p=0.001)", stat, chiSquareCrit[1])
+	}
+}
+
+func TestGeometricSamplerChiSquare(t *testing.T) {
+	const (
+		p = 0.3
+		n = 30000
+	)
+	src := New(303)
+	// Bins 0..9 individually, one tail bin for >= 10: pmf p(1-p)^k.
+	const bins = 10
+	obs := make([]int, bins+1)
+	probs := make([]float64, bins+1)
+	tail := 1.0
+	for k := 0; k < bins; k++ {
+		probs[k] = p * math.Pow(1-p, float64(k))
+		tail -= probs[k]
+	}
+	probs[bins] = tail
+	mean, m2 := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		g := src.Geometric(p)
+		if g < 0 {
+			t.Fatalf("negative geometric sample %d", g)
+		}
+		if g >= bins {
+			obs[bins]++
+		} else {
+			obs[g]++
+		}
+		mean += float64(g)
+		m2 += float64(g) * float64(g)
+	}
+	if stat := chiSquare(t, obs, probs, n); stat > chiSquareCrit[10] {
+		t.Errorf("geometric(%.1f) chi-square %.2f > %.2f (df=10, p=0.001)", p, stat, chiSquareCrit[10])
+	}
+	mean /= n
+	variance := m2/n - mean*mean
+	wantMean := (1 - p) / p
+	wantVar := (1 - p) / (p * p)
+	if math.Abs(mean-wantMean) > 0.05*wantMean {
+		t.Errorf("geometric sample mean %.3f, want %.3f ±5%%", mean, wantMean)
+	}
+	if math.Abs(variance-wantVar) > 0.10*wantVar {
+		t.Errorf("geometric sample variance %.3f, want %.3f ±10%%", variance, wantVar)
+	}
+}
+
+func TestPowerLawSamplerChiSquare(t *testing.T) {
+	pl, err := NewPowerLaw(2, 7, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40000
+	src := New(404)
+	// Pr[X = 2^k] through the public tail: TailProb(2^k) - TailProb(2^k+1).
+	obs := make([]int, 8)
+	probs := make([]float64, 8)
+	for k := 0; k <= 7; k++ {
+		x := int64(1) << k
+		probs[k] = pl.TailProb(x) - pl.TailProb(x+1)
+	}
+	for i := 0; i < n; i++ {
+		v := pl.Sample(src)
+		k := 0
+		for x := int64(1); x < v; x <<= 1 {
+			k++
+		}
+		if int64(1)<<k != v || k > 7 {
+			t.Fatalf("power-law sample %d is not a power of 2 within kmax", v)
+		}
+		obs[k]++
+	}
+	if stat := chiSquare(t, obs, probs, n); stat > chiSquareCrit[7] {
+		t.Errorf("power-law chi-square %.2f > %.2f (df=7, p=0.001)", stat, chiSquareCrit[7])
+	}
+}
+
+// TestSamplersMatchDeclaredMoments cross-checks every Dist family's
+// sampler against its own exact Mean and MeanBoundedPow — the m_n
+// "average n-bounded potential" of Lemma 3, so a drifting sampler would
+// corrupt exactly the quantity the paper's bound is computed from.
+func TestSamplersMatchDeclaredMoments(t *testing.T) {
+	pl, err := NewPowerLaw(4, 5, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp, err := NewEmpirical("mix", []int64{1, 1, 2, 3, 5, 8, 13, 21, 34, 55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, err := NewUniform(3, 47)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := NewTwoPoint(1, 4096, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		n     = 200000
+		bound = int64(64) // n-bound for MeanBoundedPow
+		e     = 1.585     // log2(3), the E2/E3 exponent regime
+	)
+	for i, d := range []Dist{uni, tp, pl, emp} {
+		src := New(505 + uint64(i))
+		sum, sumBounded := 0.0, 0.0
+		for j := 0; j < n; j++ {
+			v := d.Sample(src)
+			if d.TailProb(v) <= 0 {
+				t.Fatalf("%s: sampled %d but TailProb says it is impossible", d.Name(), v)
+			}
+			sum += float64(v)
+			sumBounded += math.Pow(float64(min64(v, bound)), e)
+		}
+		gotMean, wantMean := sum/n, d.Mean()
+		if math.Abs(gotMean-wantMean) > 0.05*wantMean {
+			t.Errorf("%s: sample mean %.4f, declared Mean %.4f", d.Name(), gotMean, wantMean)
+		}
+		gotPow, wantPow := sumBounded/n, d.MeanBoundedPow(bound, e)
+		if math.Abs(gotPow-wantPow) > 0.05*wantPow {
+			t.Errorf("%s: sampled m_n %.4f, declared MeanBoundedPow %.4f", d.Name(), gotPow, wantPow)
+		}
+	}
+}

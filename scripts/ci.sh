@@ -1,5 +1,6 @@
 #!/bin/sh
-# CI gate: vet, build, full test suite, then a race-detector pass over the
+# CI gate: formatting, vet, the cadaptivelint determinism checks, build, the
+# full test suite (shuffled), then a race-detector pass over the
 # concurrency-sensitive packages (the engine and everything that fans out on
 # it), including the worker-count determinism test. Run from the repo root:
 #
@@ -8,14 +9,27 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: these files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 echo "== go vet =="
 go vet ./...
+
+echo "== cadaptivelint =="
+go run ./cmd/cadaptivelint ./...
 
 echo "== go build =="
 go build ./...
 
 echo "== go test =="
-go test ./...
+# -shuffle=on randomizes test order within each package, so tests that
+# secretly depend on a sibling's side effects fail here instead of later.
+go test -shuffle=on ./...
 
 echo "== go test -race (short) =="
 go test -race -short \
@@ -30,11 +44,17 @@ go test -race -short \
     ./internal/paging/ \
     -run 'TestService|TestCache|TestLRU|TestOPT|TestHitsPlusMisses|TestShrink'
 
+echo "== go test -race (shared cache + smoothing) =="
+go test -race -short \
+    ./internal/sharedcache/ \
+    ./internal/smoothing/
+
 echo "== fuzz smoke =="
 # Five seconds per fuzz target: enough to exercise the mutator on the
 # checked-in corpora without stalling CI. -run '^$' skips the unit tests
 # (already covered above) so only the fuzzing engine runs.
 go test -run '^$' -fuzz '^FuzzParseID$' -fuzztime 5s ./internal/core/
 go test -run '^$' -fuzz '^FuzzReadTSV$' -fuzztime 5s ./internal/profile/
+go test -run '^$' -fuzz '^FuzzParseIgnoreDirective$' -fuzztime 5s ./internal/lint/
 
 echo "CI OK"
