@@ -7,6 +7,13 @@
 //	cadaptive -exp E3 -seed 1 -trials 20 -maxk 7
 //	cadaptive -exp all -workers 8
 //	cadaptive -exp E3 -format json > BENCH_baseline.json
+//	cadaptive -server http://127.0.0.1:8344 -exp E3
+//
+// With -server the experiments execute on a cadaptived instance instead of
+// in-process: requests go through the retrying service client (capped
+// backoff, Retry-After aware), and the output is formatted identically —
+// determinism makes a remote table byte-for-byte the table a local run
+// would have produced.
 //
 // Every run is deterministic in (-seed, -trials, -maxk) — and only those:
 // table contents are byte-identical for any -workers value. EXPERIMENTS.md
@@ -15,6 +22,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -24,6 +32,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/service"
 )
 
 func main() {
@@ -57,13 +66,18 @@ func run(args []string, stdout io.Writer, now func() time.Time) error {
 		list    = fs.Bool("list", false, "list experiments and ablations, then exit")
 		timing  = fs.Bool("time", false, "print per-experiment wall time and engine utilisation")
 		format  = fs.String("format", "text", "output format: text | tsv | json")
+		server  = fs.String("server", "", "cadaptived base URL; run remotely instead of in-process")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *list {
-		for _, e := range core.Experiments() {
+		rows, err := listExperiments(*server)
+		if err != nil {
+			return err
+		}
+		for _, e := range rows {
 			fmt.Fprintf(stdout, "%-4s %-40s %s\n", e.ID, e.Source, e.Summary)
 		}
 		return nil
@@ -75,7 +89,11 @@ func run(args []string, stdout io.Writer, now func() time.Time) error {
 	if *workers < 0 {
 		return fmt.Errorf("-workers %d < 0", *workers)
 	}
-	engine.SetSharedWorkers(*workers)
+	if *server == "" {
+		engine.SetSharedWorkers(*workers)
+	} else if *workers != 0 {
+		return errors.New("-workers applies to in-process runs; the server chose its own worker bound at startup")
+	}
 
 	cfg := core.Config{Seed: *seed, Trials: *trials, MaxK: *maxK}
 	if err := cfg.Validate(); err != nil {
@@ -90,22 +108,25 @@ func run(args []string, stdout io.Writer, now func() time.Time) error {
 
 	// The CLI and the cadaptived service share core.RunContext /
 	// RunAllContext as their only run entry points, so the two front-ends
-	// cannot drift apart in what a given (experiment, config, seed) means.
+	// cannot drift apart in what a given (experiment, config, seed) means —
+	// and in remote mode the server funnels into the same entry points, so
+	// the tables below are byte-identical either way.
 	ctx := context.Background()
 	start := now()
 	var tables []*core.Table
-	if *exp == "all" {
-		all, err := core.RunAllContext(ctx, cfg)
-		if err != nil {
-			return err
-		}
-		tables = all
+	var err error
+	if *server != "" {
+		tables, err = runRemote(ctx, *server, *exp, cfg)
+	} else if *exp == "all" {
+		tables, err = core.RunAllContext(ctx, cfg)
 	} else {
-		t, err := core.RunContext(ctx, *exp, cfg)
-		if err != nil {
-			return err
+		var t *core.Table
+		if t, err = core.RunContext(ctx, *exp, cfg); err == nil {
+			tables = []*core.Table{t}
 		}
-		tables = []*core.Table{t}
+	}
+	if err != nil {
+		return err
 	}
 	end := now()
 	wall := end.Sub(start)
@@ -134,4 +155,50 @@ func run(args []string, stdout io.Writer, now func() time.Time) error {
 		fmt.Fprintf(stdout, "[total %.1fs]\n", wall.Seconds())
 	}
 	return nil
+}
+
+// listExperiments resolves the -list rows: the local registry, or the
+// server's /v1/experiments when -server is set (the two agree by
+// construction, but asking the server verifies it is reachable).
+func listExperiments(server string) ([]service.ExperimentInfo, error) {
+	if server == "" {
+		exps := core.Experiments()
+		out := make([]service.ExperimentInfo, len(exps))
+		for i, e := range exps {
+			out[i] = service.ExperimentInfo{ID: e.ID, Source: e.Source, Summary: e.Summary}
+		}
+		return out, nil
+	}
+	return service.NewClient(server).Experiments(context.Background())
+}
+
+// runRemote executes exp (or "all", in registry order) on a cadaptived
+// instance and reconstructs the tables from the returned JSON bodies.
+func runRemote(ctx context.Context, server, exp string, cfg core.Config) ([]*core.Table, error) {
+	c := service.NewClient(server)
+	c.Seed = cfg.Seed // replayable retry jitter, same spirit as the runs
+	ids := []string{exp}
+	if exp == "all" {
+		infos, err := c.Experiments(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("listing experiments on %s: %w", server, err)
+		}
+		ids = ids[:0]
+		for _, e := range infos {
+			ids = append(ids, e.ID)
+		}
+	}
+	tables := make([]*core.Table, 0, len(ids))
+	for _, id := range ids {
+		resp, err := c.Run(ctx, id, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("running %s on %s: %w", id, server, err)
+		}
+		var t core.Table
+		if err := json.Unmarshal(resp.Table, &t); err != nil {
+			return nil, fmt.Errorf("decoding %s table from %s: %w", id, server, err)
+		}
+		tables = append(tables, &t)
+	}
+	return tables, nil
 }

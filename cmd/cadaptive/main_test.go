@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"flag"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/service"
 )
 
 // fixedClock is the injected test clock: every call returns the same
@@ -130,6 +132,64 @@ func TestBadFlagsError(t *testing.T) {
 		if err := run(args, &buf, fixedClock); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+// TestRemoteMatchesLocal is the remote-mode contract: `-server URL` output
+// is byte-identical to the in-process run for the same config and format,
+// because the server funnels into the same core.RunContext entry point.
+func TestRemoteMatchesLocal(t *testing.T) {
+	s, err := service.New(service.Options{Addr: "127.0.0.1:0", MaxConcurrentRuns: 2, CacheEntries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	for _, format := range []string{"text", "tsv", "json"} {
+		local, remote := new(bytes.Buffer), new(bytes.Buffer)
+		base := []string{"-exp", "E1", "-seed", "7", "-trials", "2", "-maxk", "4", "-format", format}
+		if err := run(base, local, fixedClock); err != nil {
+			t.Fatalf("local %s: %v", format, err)
+		}
+		if err := run(append(base, "-server", srv.URL), remote, fixedClock); err != nil {
+			t.Fatalf("remote %s: %v", format, err)
+		}
+		got, want := remote.Bytes(), local.Bytes()
+		if format == "json" {
+			// Engine metrics are measured on whichever side ran the cells;
+			// compare the deterministic content the schema promises.
+			got, want = normalizeSnapshot(t, got), normalizeSnapshot(t, want)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("remote %s output differs from local:\n--- remote ---\n%s\n--- local ---\n%s", format, got, want)
+		}
+	}
+}
+
+// TestRemoteList covers `-list -server URL` and the -workers rejection.
+func TestRemoteList(t *testing.T) {
+	s, err := service.New(service.Options{Addr: "127.0.0.1:0", MaxConcurrentRuns: 2, CacheEntries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	localList, remoteList := new(bytes.Buffer), new(bytes.Buffer)
+	if err := run([]string{"-list"}, localList, fixedClock); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-list", "-server", srv.URL}, remoteList, fixedClock); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(localList.Bytes(), remoteList.Bytes()) {
+		t.Errorf("remote -list differs from local:\n%s\nvs\n%s", remoteList, localList)
+	}
+
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "E1", "-server", srv.URL, "-workers", "4"}, &buf, fixedClock); err == nil {
+		t.Error("-workers with -server accepted; it cannot apply remotely")
 	}
 }
 

@@ -15,7 +15,16 @@
 //	GET  /metrics         cache hit/miss/coalesce counters, run counts, engine utilisation
 //
 // SIGINT/SIGTERM trigger graceful shutdown: the listener closes immediately,
-// in-flight runs drain (bounded by -drain), then the process exits.
+// /healthz flips to 503 "draining", in-flight runs drain (bounded by
+// -drain), then the process exits.
+//
+// Chaos mode injects seed-deterministic faults at the named points the
+// binary already executes through (engine.cell, service.handler,
+// service.run, service.cache), for rehearsing the failure model end to end:
+//
+//	cadaptived -chaos-seed 42 -chaos-spec 'engine.cell:panic:0.01,service.run:error:0.05'
+//
+// The same seed and spec replay the same per-point fault sequences.
 package main
 
 import (
@@ -31,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/service"
 )
 
@@ -43,12 +53,14 @@ func main() {
 
 func run() error {
 	var (
-		addr    = flag.String("addr", ":8344", "listen address")
-		workers = flag.Int("workers", 0, "engine worker bound (0 = GOMAXPROCS); results do not depend on it")
-		cache   = flag.Int("cache", 512, "result-cache capacity in entries")
-		maxRuns = flag.Int("max-runs", 2, "maximum concurrent experiment runs (each fans out on the engine internally)")
-		timeout = flag.Duration("timeout", 60*time.Second, "per-run timeout, threaded into the engine as context cancellation")
-		drain   = flag.Duration("drain", 2*time.Minute, "graceful-shutdown drain budget for in-flight runs")
+		addr      = flag.String("addr", ":8344", "listen address")
+		workers   = flag.Int("workers", 0, "engine worker bound (0 = GOMAXPROCS); results do not depend on it")
+		cache     = flag.Int("cache", 512, "result-cache capacity in entries")
+		maxRuns   = flag.Int("max-runs", 2, "maximum concurrent experiment runs (each fans out on the engine internally)")
+		timeout   = flag.Duration("timeout", 60*time.Second, "per-run timeout, threaded into the engine as context cancellation (negative = unbounded)")
+		drain     = flag.Duration("drain", 2*time.Minute, "graceful-shutdown drain budget for in-flight runs")
+		chaosSeed = flag.Uint64("chaos-seed", 0, "seed for deterministic fault injection (used with -chaos-spec)")
+		chaosSpec = flag.String("chaos-spec", "", "fault spec, e.g. 'engine.cell:panic:0.01,service.run:error:0.05,service.cache:latency:0.1:50ms'; empty = chaos off")
 	)
 	flag.Parse()
 
@@ -56,6 +68,22 @@ func run() error {
 		return fmt.Errorf("-workers %d < 0", *workers)
 	}
 	engine.SetSharedWorkers(*workers)
+
+	if *chaosSpec != "" {
+		inj, err := fault.Enable(*chaosSeed, *chaosSpec)
+		if err != nil {
+			return fmt.Errorf("-chaos-spec: %w", err)
+		}
+		defer fault.Disable()
+		var armed []string
+		for _, st := range inj.Stats() {
+			armed = append(armed, st.Point)
+		}
+		log.Printf("cadaptived: CHAOS MODE armed (seed=%d, points=%v, spec=%q) — injected faults are deliberate",
+			*chaosSeed, armed, *chaosSpec)
+	} else if *chaosSeed != 0 {
+		return errors.New("-chaos-seed without -chaos-spec does nothing; give a spec or drop the seed")
+	}
 
 	srv, err := service.New(service.Options{
 		Addr:              *addr,
@@ -69,6 +97,14 @@ func run() error {
 
 	errc := make(chan error, 1)
 	go func() {
+		// A panic escaping this goroutine would kill the process without
+		// running main's shutdown path; surface it as a server error instead
+		// (errc is buffered, so the send cannot block).
+		defer func() {
+			if r := recover(); r != nil {
+				errc <- fmt.Errorf("listener goroutine panicked: %v", r)
+			}
+		}()
 		log.Printf("cadaptived: listening on %s (workers=%d, cache=%d, max-runs=%d, timeout=%v)",
 			*addr, engine.Shared().Workers(), *cache, *maxRuns, *timeout)
 		errc <- srv.ListenAndServe()

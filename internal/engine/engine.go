@@ -20,10 +20,14 @@ package engine
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/fault"
 )
 
 // Pool is a bounded token bucket limiting how many cells execute
@@ -114,6 +118,40 @@ func (g *Group) Cells() int64 { return g.cells.Load() }
 // summed across workers, so Busy can exceed elapsed time on multicore.
 func (g *Group) Busy() time.Duration { return time.Duration(g.busy.Load()) }
 
+// PanicError is a cell function's panic, contained by Map and converted
+// into an ordinary error: it carries the index of the cell that panicked,
+// the panic value, and the stack captured at recovery. Map treats it like
+// any other cell error (lowest-indexed wins), so one poisoned cell fails
+// its own Map call — with enough context to debug it — instead of killing
+// the process and every unrelated run sharing the pool.
+type PanicError struct {
+	Cell  int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("engine: cell %d panicked: %v\n%s", e.Cell, e.Value, e.Stack)
+}
+
+// runCell executes fn for one cell with panic containment: a panic inside
+// fn (or an injected fault.PointEngineCell fault) becomes a *PanicError in
+// the cell's error slot. The recover sits here — around the single cell
+// call — rather than at the goroutine top so both recruited workers and
+// the caller's own work(0) loop are covered by one mechanism, and the
+// claim loop keeps running the remaining cells after a poisoned one.
+func runCell(fn func(cell, worker int) error, cell, worker int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Cell: cell, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if err := fault.Fire(fault.PointEngineCell); err != nil {
+		return err
+	}
+	return fn(cell, worker)
+}
+
 // Map runs fn(cell, worker) for every cell in [0, n) and returns the
 // lowest-indexed error (nil if none). The calling goroutine always
 // participates as worker 0; additional workers (1 .. Workers()-1) are
@@ -125,6 +163,11 @@ func (g *Group) Busy() time.Duration { return time.Duration(g.busy.Load()) }
 // needs from its cell index (deterministic seeds included) and write only
 // to cell-indexed slots, which makes the result independent of both the
 // schedule and the worker count.
+//
+// A panicking cell does not crash the process: the panic is recovered at
+// the cell boundary, recorded as a *PanicError for that cell, and the
+// remaining cells still run. Recruited workers return their pool tokens
+// on every path, so the pool stays usable after arbitrary cell failures.
 func (g *Group) Map(n int, fn func(cell, worker int) error) error {
 	if n <= 0 {
 		return nil
@@ -141,7 +184,7 @@ func (g *Group) Map(n int, fn func(cell, worker int) error) error {
 				return
 			}
 			start := time.Now()
-			errs[cell] = fn(cell, worker)
+			errs[cell] = runCell(fn, cell, worker)
 			g.busy.Add(int64(time.Since(start)))
 			g.cells.Add(1)
 		}
@@ -155,6 +198,7 @@ recruit:
 		case <-p.tokens:
 			spawned++
 			wg.Add(1)
+			//lint:ignore norecover cell panics are contained by runCell inside work; the claim loop itself performs no panicking operations
 			go func(worker int) {
 				defer wg.Done()
 				defer func() { p.tokens <- struct{}{} }()

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -200,6 +201,202 @@ func TestMapCellErrorWinsOverCancellation(t *testing.T) {
 	})
 	if !errors.Is(err, boom) {
 		t.Fatalf("Map returned %v, want the cell error", err)
+	}
+}
+
+// idleTokens reports how many pool tokens are free right now. All workers
+// being parked is the pool's quiescent state: workers-1 free tokens.
+func idleTokens(p *Pool) int { return len(p.tokens) }
+
+// TestMapPanicBecomesCellIndexedError: a panic inside a cell surfaces as a
+// *PanicError carrying the cell index and a stack, not a process crash,
+// and the other cells still run.
+func TestMapPanicBecomesCellIndexedError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := New(workers)
+		g := p.Group()
+		var ran atomic.Int64
+		err := g.Map(32, func(cell, _ int) error {
+			if cell == 5 {
+				panic(fmt.Sprintf("boom in cell %d", cell))
+			}
+			ran.Add(1)
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: Map returned %T (%v), want *PanicError", workers, err, err)
+		}
+		if pe.Cell != 5 {
+			t.Errorf("workers=%d: PanicError.Cell = %d, want 5", workers, pe.Cell)
+		}
+		if got, ok := pe.Value.(string); !ok || got != "boom in cell 5" {
+			t.Errorf("workers=%d: PanicError.Value = %v, want the panic value", workers, pe.Value)
+		}
+		if len(pe.Stack) == 0 || !strings.Contains(pe.Error(), "boom in cell 5") {
+			t.Errorf("workers=%d: PanicError carries no stack/context: %q", workers, pe.Error())
+		}
+		if ran.Load() != 31 {
+			t.Errorf("workers=%d: %d cells ran, want 31 (panic must not stop the claim loop)", workers, ran.Load())
+		}
+		if free := idleTokens(p); free != workers-1 {
+			t.Errorf("workers=%d: %d free tokens after panic, want %d", workers, free, workers-1)
+		}
+	}
+}
+
+// TestMapPanicLowestIndexedWins: error-vs-panic ordering follows cell
+// index, like error-vs-error.
+func TestMapPanicLowestIndexedWins(t *testing.T) {
+	g := New(4).Group()
+	sentinel := errors.New("cell 9")
+	err := g.Map(16, func(cell, _ int) error {
+		switch cell {
+		case 2:
+			panic("cell 2")
+		case 9:
+			return sentinel
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Cell != 2 {
+		t.Fatalf("Map returned %v, want the cell-2 PanicError", err)
+	}
+}
+
+// TestMapPoolUsableAfterPanicStorm: every cell of a Map panics across
+// recruited workers and the caller; afterwards the same pool must still
+// recruit to full parallelism and complete a clean Map.
+func TestMapPoolUsableAfterPanicStorm(t *testing.T) {
+	const workers = 4
+	p := New(workers)
+	g := p.Group()
+	err := g.Map(64, func(cell, _ int) error { panic(cell) })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Map returned %v, want a PanicError", err)
+	}
+	if free := idleTokens(p); free != workers-1 {
+		t.Fatalf("%d free tokens after the storm, want %d", free, workers-1)
+	}
+
+	// The pool must still complete a clean Map, covering every cell once.
+	g2 := p.Group()
+	hits := make([]int32, 64)
+	if err := g2.Map(len(hits), func(cell, _ int) error {
+		atomic.AddInt32(&hits[cell], 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("cell %d executed %d times after the storm", i, h)
+		}
+	}
+	if free := idleTokens(p); free != workers-1 {
+		t.Errorf("%d free tokens after the clean Map, want %d", free, workers-1)
+	}
+}
+
+// TestMapTokenRestitutionAfterWorkerError: cell errors on every worker
+// must not leak pool tokens (the satellite invariant the chaos suite
+// leans on).
+func TestMapTokenRestitutionAfterWorkerError(t *testing.T) {
+	const workers = 5
+	p := New(workers)
+	boom := errors.New("boom")
+	for round := 0; round < 3; round++ {
+		err := p.Group().Map(40, func(cell, _ int) error { return boom })
+		if !errors.Is(err, boom) {
+			t.Fatalf("round %d: Map returned %v, want boom", round, err)
+		}
+		if free := idleTokens(p); free != workers-1 {
+			t.Fatalf("round %d: %d free tokens, want %d", round, free, workers-1)
+		}
+	}
+}
+
+// TestMapCancelledQueuedCellsNeverStart pins the mid-claim cancellation
+// contract: with every worker parked inside a cell, cancelling the context
+// means the queued cells behind them are never claimed.
+func TestMapCancelledQueuedCellsNeverStart(t *testing.T) {
+	const workers = 2
+	g := New(workers).Group()
+	ctx, cancel := context.WithCancel(context.Background())
+	g.WithContext(ctx)
+
+	var started atomic.Int64
+	release := make(chan struct{})
+	ready := make(chan struct{}, workers)
+	done := make(chan error, 1)
+	go func() {
+		done <- g.Map(100, func(cell, _ int) error {
+			started.Add(1)
+			ready <- struct{}{}
+			<-release
+			return nil
+		})
+	}()
+	for i := 0; i < workers; i++ {
+		<-ready // both workers are now parked inside a cell
+	}
+	cancel()
+	close(release)
+	err := <-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Map returned %v, want context.Canceled", err)
+	}
+	if got := started.Load(); got != workers {
+		t.Errorf("%d cells started, want exactly %d (queued cells must never start after cancel)", got, workers)
+	}
+}
+
+// TestNestedMapSaturationDegradesToSerial: when the pool is saturated by
+// an outer Map, an inner Map must run every cell serially on its caller
+// (worker 0), not wait for tokens its ancestors hold.
+func TestNestedMapSaturationDegradesToSerial(t *testing.T) {
+	const workers = 2
+	p := New(workers)
+	outer := p.Group()
+	var entered atomic.Int64
+	barrier := make(chan struct{})
+	err := outer.Map(workers, func(cell, _ int) error {
+		// Hold every outer cell here until all of them run at once: the
+		// pool is then provably saturated when the inner Maps start.
+		if entered.Add(1) == workers {
+			close(barrier)
+		}
+		<-barrier
+		inner := p.Group()
+		var innerCur, innerPeak atomic.Int64
+		if err := inner.Map(25, func(c, w int) error {
+			if w != 0 {
+				return fmt.Errorf("inner cell %d ran on worker %d, want 0 (serial degradation)", c, w)
+			}
+			cur := innerCur.Add(1)
+			for {
+				pk := innerPeak.Load()
+				if cur <= pk || innerPeak.CompareAndSwap(pk, cur) {
+					break
+				}
+			}
+			innerCur.Add(-1)
+			return nil
+		}); err != nil {
+			return err
+		}
+		if pk := innerPeak.Load(); pk != 1 {
+			return fmt.Errorf("inner Map reached concurrency %d under saturation, want 1", pk)
+		}
+		if got := inner.Cells(); got != 25 {
+			return fmt.Errorf("inner Map ran %d cells, want 25", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }
 

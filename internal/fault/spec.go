@@ -1,0 +1,71 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseSpec parses a -chaos-spec value: comma-separated rules of the form
+//
+//	<point>:<mode>:<prob>[:<duration>]
+//
+// where <point> is a known injection point (Points), <mode> is one of
+// error | panic | latency, <prob> is a float in [0,1], and <duration> is a
+// time.ParseDuration string required by (and only valid for) latency
+// rules. Examples:
+//
+//	engine.cell:panic:0.02
+//	service.handler:latency:0.25:5ms,service.run:error:0.1
+//
+// A point may appear in several rules; they are tried in spec order each
+// invocation and the first whose coin lands fires. ParseSpec validates
+// shape only; NewInjector validates points and ranges.
+func ParseSpec(spec string) ([]Rule, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("fault: empty chaos spec")
+	}
+	var rules []Rule
+	for _, raw := range strings.Split(spec, ",") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			return nil, fmt.Errorf("fault: empty rule in spec %q", spec)
+		}
+		parts := strings.Split(raw, ":")
+		if len(parts) < 3 || len(parts) > 4 {
+			return nil, fmt.Errorf("fault: rule %q: want <point>:<mode>:<prob>[:<duration>]", raw)
+		}
+		var mode Mode
+		switch parts[1] {
+		case "error":
+			mode = ModeError
+		case "panic":
+			mode = ModePanic
+		case "latency":
+			mode = ModeLatency
+		default:
+			return nil, fmt.Errorf("fault: rule %q: unknown mode %q (want error, panic or latency)", raw, parts[1])
+		}
+		prob, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("fault: rule %q: bad probability %q: %v", raw, parts[2], err)
+		}
+		r := Rule{Point: parts[0], Mode: mode, Prob: prob}
+		if len(parts) == 4 {
+			if mode != ModeLatency {
+				return nil, fmt.Errorf("fault: rule %q: duration is only valid for latency rules", raw)
+			}
+			d, err := time.ParseDuration(parts[3])
+			if err != nil {
+				return nil, fmt.Errorf("fault: rule %q: bad duration %q: %v", raw, parts[3], err)
+			}
+			r.Sleep = d
+		} else if mode == ModeLatency {
+			return nil, fmt.Errorf("fault: rule %q: latency rules need a duration (e.g. %s:latency:%s:5ms)", raw, parts[0], parts[2])
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}

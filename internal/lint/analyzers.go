@@ -2,7 +2,7 @@ package lint
 
 // Analyzers returns every shipped check, in reporting-name order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{ErrCheck, MapOrder, MutexCopy, NoRand, NoTime}
+	return []*Analyzer{ErrCheck, MapOrder, MutexCopy, NoRand, NoRecover, NoTime}
 }
 
 // DefaultScopes is the repository policy for where each check applies,
@@ -11,6 +11,11 @@ func Analyzers() []*Analyzer {
 //
 //   - norand runs everywhere except internal/xrand, the one package allowed
 //     to own a generator (it wraps SplitMix64 and hands out seeded streams).
+//   - norecover runs in the long-lived-process packages — the commands and
+//     the engine/service layers beneath them — where one goroutine's
+//     unrecovered panic kills cadaptived (or a mid-run CLI) outright.
+//     Library and experiment code is excluded: it runs inside engine.Map,
+//     whose runCell already contains cell panics.
 //   - notime runs only in the result-producing packages: internal/core
 //     builds the tables that golden files and BENCH_*.json snapshots are
 //     compared against, and internal/service persists bodies in the
@@ -18,7 +23,8 @@ func Analyzers() []*Analyzer {
 //     //lint:ignore notime annotations.
 func DefaultScopes() map[string]Scope {
 	return map[string]Scope{
-		"norand": {Exclude: []string{"internal/xrand"}},
-		"notime": {Only: []string{"internal/core", "internal/service"}},
+		"norand":    {Exclude: []string{"internal/xrand"}},
+		"norecover": {Only: []string{"cmd", "internal/engine", "internal/service"}},
+		"notime":    {Only: []string{"internal/core", "internal/service"}},
 	}
 }

@@ -10,12 +10,13 @@ func TestNoTime(t *testing.T)    { runTestdata(t, NoTime, "notime") }
 func TestErrCheck(t *testing.T)  { runTestdata(t, ErrCheck, "errcheck") }
 func TestMapOrder(t *testing.T)  { runTestdata(t, MapOrder, "maporder") }
 func TestMutexCopy(t *testing.T) { runTestdata(t, MutexCopy, "mutexcopy") }
+func TestNoRecover(t *testing.T) { runTestdata(t, NoRecover, "norecover") }
 
 // TestAnalyzersRegistry keeps the registry aligned with the shipped checks
 // and their documented names (the names are load-bearing: scopes and
 // //lint:ignore directives key off them).
 func TestAnalyzersRegistry(t *testing.T) {
-	want := []string{"errcheck", "maporder", "mutexcopy", "norand", "notime"}
+	want := []string{"errcheck", "maporder", "mutexcopy", "norand", "norecover", "notime"}
 	got := Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("%d analyzers, want %d", len(got), len(want))

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoRecover flags `go func(...) {...}(...)` goroutine literals that cannot
+// recover a panic. An unrecovered panic in any goroutine kills the whole
+// process — for cadaptived that means every queued run, the result cache,
+// and the listener die because one background task hit a nil map. The
+// engine and service contain panics at their boundaries (engine.runCell,
+// the HTTP recovery middleware, the singleflight wrapper); this check
+// keeps ad-hoc goroutines from quietly opting out of that failure model.
+//
+// A literal counts as protected when it defers recovery:
+//
+//   - defer func() { ... recover() ... }()
+//   - defer helper()   where helper is a same-package function whose body
+//     calls recover
+//   - defer recover()  (legal, if inadvisable: the value is lost)
+//
+// Deliberately panic-free claim loops and goroutines whose panics are
+// contained further down (as in engine.Map, where runCell wraps every
+// cell) carry a //lint:ignore norecover annotation saying so. Named
+// functions launched with `go fn()` are not flagged: fn owns its own
+// panic policy and is checkable at its declaration.
+var NoRecover = &Analyzer{
+	Name: "norecover",
+	Doc:  "forbid goroutine literals without deferred panic recovery in server/engine packages",
+	Run:  runNoRecover,
+}
+
+func runNoRecover(p *Pass) {
+	// Same-package function declarations by object, so a deferred call to a
+	// local helper can be followed to its body.
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := p.Info.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if !p.goroutineRecovers(lit, decls) {
+				p.Reportf(g.Pos(), "goroutine literal without panic recovery: an unrecovered panic here kills the process; defer a recover (or annotate why a panic is impossible)")
+			}
+			return true
+		})
+	}
+}
+
+// goroutineRecovers reports whether the goroutine literal defers a recover
+// in its own frame. Defers inside nested function literals run in those
+// frames and cannot stop a panic unwinding this one, so the walk does not
+// descend into them (except into the deferred call itself).
+func (p *Pass) goroutineRecovers(lit *ast.FuncLit, decls map[types.Object]*ast.FuncDecl) bool {
+	protected := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if protected {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a nested frame's defers don't protect this one
+		}
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		switch fn := d.Call.Fun.(type) {
+		case *ast.FuncLit:
+			if p.containsRecover(fn.Body) {
+				protected = true
+			}
+		case *ast.Ident:
+			if p.isBuiltinRecover(fn) {
+				protected = true // defer recover()
+			} else if obj := p.Info.Uses[fn]; obj != nil {
+				if fd, ok := decls[obj]; ok && p.containsRecover(fd.Body) {
+					protected = true
+				}
+			}
+		case *ast.SelectorExpr:
+			if obj := p.Info.Uses[fn.Sel]; obj != nil {
+				if fd, ok := decls[obj]; ok && p.containsRecover(fd.Body) {
+					protected = true
+				}
+			}
+		}
+		return true
+	})
+	return protected
+}
+
+// containsRecover reports whether node calls the builtin recover anywhere
+// (including in nested literals: a deferred helper may itself defer).
+func (p *Pass) containsRecover(node ast.Node) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && p.isBuiltinRecover(id) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isBuiltinRecover reports whether id resolves to the predeclared recover
+// (not a local function that happens to share the name).
+func (p *Pass) isBuiltinRecover(id *ast.Ident) bool {
+	b, ok := p.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "recover"
+}

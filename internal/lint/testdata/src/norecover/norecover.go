@@ -1,0 +1,83 @@
+// Package norecover exercises the norecover check: goroutine literals must
+// defer panic recovery (directly, via a local helper, or via defer
+// recover()), nested-frame defers don't count, and annotated panic-free
+// loops are suppressed.
+package norecover
+
+import "fmt"
+
+func handlePanic() {
+	if r := recover(); r != nil {
+		fmt.Println("recovered:", r)
+	}
+}
+
+// noRecoverHere shares a name shape with recovery helpers but recovers
+// nothing; deferring it must not count.
+func noRecoverHere() {
+	fmt.Println("cleanup")
+}
+
+func bad() {
+	go func() { // want "goroutine literal without panic recovery"
+		fmt.Println("boom-prone")
+	}()
+}
+
+func badDeferWithoutRecover() {
+	go func() { // want "goroutine literal without panic recovery"
+		defer noRecoverHere()
+		fmt.Println("still boom-prone")
+	}()
+}
+
+func badNestedFrameOnly() {
+	go func() { // want "goroutine literal without panic recovery"
+		// The inner literal's defer runs in the inner frame; a panic in the
+		// outer loop below still unwinds unrecovered.
+		inner := func() {
+			defer handlePanic()
+			fmt.Println("inner work")
+		}
+		inner()
+		fmt.Println("outer work")
+	}()
+}
+
+func okInlineRecover() {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				fmt.Println("recovered:", r)
+			}
+		}()
+		fmt.Println("work")
+	}()
+}
+
+func okHelperRecover() {
+	go func() {
+		defer handlePanic()
+		fmt.Println("work")
+	}()
+}
+
+func okDeferBuiltinRecover() {
+	go func() {
+		defer recover() // legal, if inadvisable: the panic value is lost
+		fmt.Println("work")
+	}()
+}
+
+func okNamedFunction() {
+	// Named functions own their panic policy; only literals are flagged.
+	go noRecoverHere()
+}
+
+func okAnnotated() {
+	//lint:ignore norecover sends one value on a buffered channel; no panicking operation
+	go func() { // suppressed "goroutine literal without panic recovery"
+		ch := make(chan int, 1)
+		ch <- 1
+	}()
+}

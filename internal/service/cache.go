@@ -2,6 +2,8 @@ package service
 
 import (
 	"context"
+	"fmt"
+	"runtime/debug"
 	"sync"
 )
 
@@ -45,6 +47,7 @@ const (
 	outcomeHit       outcome = iota // served from the cache
 	outcomeMiss                     // ran the computation (and filled the cache)
 	outcomeCoalesced                // waited on another caller's identical run
+	outcomeShed                     // rejected at admission: queue full, never ran
 )
 
 func newResultCache(capacity int) *resultCache {
@@ -90,7 +93,20 @@ func (c *resultCache) do(ctx context.Context, key string, fn func() ([]byte, err
 	c.inflight[key] = f
 	c.mu.Unlock()
 
-	f.body, f.err = fn()
+	// Contain fn panics here, at the singleflight boundary: if the panic
+	// escaped, the deferred cleanup below would never run, the in-flight
+	// entry would leak, and every future caller of this key would block
+	// forever on a flight that can no longer complete. Converting to an
+	// error instead fails this request (and its coalesced followers) while
+	// the key stays retryable.
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				f.err = fmt.Errorf("service: run for key %s panicked: %v\n%s", key, r, debug.Stack())
+			}
+		}()
+		f.body, f.err = fn()
+	}()
 
 	c.mu.Lock()
 	delete(c.inflight, key)

@@ -8,6 +8,7 @@ import (
 	"net/http"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 )
 
 // runRequest is the POST /v1/run body. Absent config fields keep the
@@ -18,11 +19,11 @@ type runRequest struct {
 	Config     core.Config `json:"config"`
 }
 
-// runResponse is the POST /v1/run reply. Table carries the experiment's
+// RunResponse is the POST /v1/run reply. Table carries the experiment's
 // versioned Table JSON verbatim — the same bytes whether the run was fresh,
 // coalesced onto a concurrent identical run, or replayed from the cache;
 // only the envelope's cached/coalesced markers differ.
-type runResponse struct {
+type RunResponse struct {
 	SchemaVersion int             `json:"schema_version"`
 	Key           string          `json:"key"` // content address (core.CacheKey)
 	Cached        bool            `json:"cached"`
@@ -67,6 +68,11 @@ func writeError(w http.ResponseWriter, err error) {
 		resp.Field = jsonFieldForConfigField[ce.Field]
 	case errors.Is(err, core.ErrUnknownExperiment):
 		status = http.StatusNotFound
+	case errors.Is(err, ErrOverloaded):
+		// Shed by the bounded admission queue: tell well-behaved clients
+		// when to come back instead of letting them hammer a loaded server.
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
 	case errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -79,6 +85,13 @@ func writeError(w http.ResponseWriter, err error) {
 
 // handleRun serves POST /v1/run.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	// Chaos: the handler-level injection point fires before any request
+	// state exists, so a panic here proves the recovery middleware alone
+	// keeps the process alive; errors map to a plain 500.
+	if err := fault.Fire(fault.PointServiceHandler); err != nil {
+		writeError(w, err)
+		return
+	}
 	req := runRequest{Config: core.DefaultConfig()}
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -106,7 +119,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, runResponse{
+	writeJSON(w, http.StatusOK, RunResponse{
 		SchemaVersion: core.SnapshotSchemaVersion,
 		Key:           key,
 		Cached:        oc == outcomeHit,
@@ -117,8 +130,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// experimentInfo is one GET /v1/experiments row, mirroring `cadaptive -list`.
-type experimentInfo struct {
+// ExperimentInfo is one GET /v1/experiments row, mirroring `cadaptive -list`.
+type ExperimentInfo struct {
 	ID      string `json:"id"`
 	Source  string `json:"source"`
 	Summary string `json:"summary"`
@@ -127,23 +140,30 @@ type experimentInfo struct {
 // handleExperiments serves GET /v1/experiments.
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	exps := core.Experiments()
-	out := make([]experimentInfo, len(exps))
+	out := make([]ExperimentInfo, len(exps))
 	for i, e := range exps {
-		out[i] = experimentInfo{ID: e.ID, Source: e.Source, Summary: e.Summary}
+		out[i] = ExperimentInfo{ID: e.ID, Source: e.Source, Summary: e.Summary}
 	}
 	writeJSON(w, http.StatusOK, struct {
-		Experiments []experimentInfo `json:"experiments"`
+		Experiments []ExperimentInfo `json:"experiments"`
 	}{out})
 }
 
-// handleHealthz serves GET /healthz.
+// handleHealthz serves GET /healthz. Once Shutdown has begun it answers
+// 503 "draining" so load balancers stop routing to this instance while its
+// in-flight runs finish.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, struct {
+	status, body := http.StatusOK, "ok"
+	if s.Draining() {
+		status, body = http.StatusServiceUnavailable, "draining"
+	}
+	writeJSON(w, status, struct {
 		Status string `json:"status"`
-	}{"ok"})
+	}{body})
 }
 
 // handleMetrics serves GET /metrics.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.met.snapshot(s.cache.len(), s.opts.CacheEntries, s.workers()))
+	writeJSON(w, http.StatusOK,
+		s.met.snapshot(s.cache.len(), s.opts.CacheEntries, s.workers(), s.opts.MaxQueuedRuns, s.Draining()))
 }

@@ -16,6 +16,16 @@ type metrics struct {
 	cacheMisses    atomic.Int64
 	cacheCoalesced atomic.Int64
 
+	// Degradation counters. requests counts every run request admitted to
+	// the cache/run path; sheds counts the ones rejected by the bounded
+	// admission queue; panics counts handler panics the recovery middleware
+	// contained; queued is the current admission-queue depth (a gauge).
+	// Conservation: hits + misses + coalesced + sheds == requests.
+	requests atomic.Int64
+	sheds    atomic.Int64
+	panics   atomic.Int64
+	queued   atomic.Int64
+
 	runsStarted   atomic.Int64
 	runsCompleted atomic.Int64
 	runsFailed    atomic.Int64
@@ -36,6 +46,8 @@ func (m *metrics) record(oc outcome) {
 		m.cacheMisses.Add(1)
 	case outcomeCoalesced:
 		m.cacheCoalesced.Add(1)
+	case outcomeShed:
+		m.sheds.Add(1)
 	}
 }
 
@@ -58,6 +70,19 @@ type metricsSnapshot struct {
 		Entries   int   `json:"entries"`
 		Capacity  int   `json:"capacity"`
 	} `json:"cache"`
+	// Service is the degradation ledger. Requests counts run requests
+	// reaching the cache/run path; Sheds the ones rejected 503 by the full
+	// admission queue; Panics the handler panics contained by middleware;
+	// QueueDepth the runs currently waiting for a slot. At any quiescent
+	// point Hits + Misses + Coalesced + Sheds == Requests.
+	Service struct {
+		Requests      int64 `json:"requests"`
+		Sheds         int64 `json:"sheds"`
+		Panics        int64 `json:"panics"`
+		QueueDepth    int64 `json:"queue_depth"`
+		QueueCapacity int   `json:"queue_capacity"`
+		Draining      bool  `json:"draining"`
+	} `json:"service"`
 	Runs struct {
 		Started   int64 `json:"started"`
 		Completed int64 `json:"completed"`
@@ -77,13 +102,19 @@ type metricsSnapshot struct {
 }
 
 // snapshot assembles the exported view.
-func (m *metrics) snapshot(cacheEntries, cacheCapacity, workers int) metricsSnapshot {
+func (m *metrics) snapshot(cacheEntries, cacheCapacity, workers, queueCapacity int, draining bool) metricsSnapshot {
 	var s metricsSnapshot
 	s.Cache.Hits = m.cacheHits.Load()
 	s.Cache.Misses = m.cacheMisses.Load()
 	s.Cache.Coalesced = m.cacheCoalesced.Load()
 	s.Cache.Entries = cacheEntries
 	s.Cache.Capacity = cacheCapacity
+	s.Service.Requests = m.requests.Load()
+	s.Service.Sheds = m.sheds.Load()
+	s.Service.Panics = m.panics.Load()
+	s.Service.QueueDepth = m.queued.Load()
+	s.Service.QueueCapacity = queueCapacity
+	s.Service.Draining = draining
 	s.Runs.Started = m.runsStarted.Load()
 	s.Runs.Completed = m.runsCompleted.Load()
 	s.Runs.Failed = m.runsFailed.Load()

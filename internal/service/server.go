@@ -12,19 +12,37 @@
 // semaphore bounding how many distinct experiments execute at a time,
 // per-run timeouts threaded as context cancellation into engine.Map, and
 // graceful shutdown that drains in-flight runs.
+//
+// Failure model. The server is built to degrade, never die: a panic
+// anywhere in request handling is contained by recovery middleware (500,
+// counted in /metrics), a panic inside a run is contained at the
+// singleflight boundary so coalesced waiters get an error instead of a
+// deadlock, and when every run slot is busy a bounded admission queue
+// sheds the overflow with 503 + Retry-After instead of queueing without
+// limit. The injection points of internal/fault are compiled into these
+// exact paths, so the chaos suite exercises the same code production runs.
 package service
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/fault"
 )
+
+// ErrOverloaded is returned (and mapped to 503 + Retry-After) when every
+// run slot is busy and the admission queue is full: the request is shed
+// immediately instead of waiting unboundedly. Deterministic clients
+// (Client) back off and retry on it.
+var ErrOverloaded = errors.New("service: overloaded (run queue full)")
 
 // Options configures a Server. The zero value of any field selects its
 // default.
@@ -36,11 +54,18 @@ type Options struct {
 	// MaxConcurrentRuns bounds how many distinct experiment runs execute at
 	// once (default 2). Each run already fans out across the shared engine
 	// pool internally, so a small bound keeps the pool from thrashing
-	// between unrelated requests; excess requests queue on the semaphore.
+	// between unrelated requests.
 	MaxConcurrentRuns int
-	// RunTimeout bounds a single experiment run (default 60s). It is
-	// threaded as context cancellation into the engine fan-out; a run that
-	// exceeds it returns 504 and is not cached.
+	// MaxQueuedRuns bounds how many runs may *wait* for a slot beyond
+	// MaxConcurrentRuns (default 32). When the queue is full, further run
+	// requests are shed with 503 + Retry-After rather than queued without
+	// limit — a loaded server must stay answerable.
+	MaxQueuedRuns int
+	// RunTimeout bounds a single experiment run. It is threaded as context
+	// cancellation into the engine fan-out; a run that exceeds it returns
+	// 504 and is not cached. Zero selects the 60s default; a negative
+	// value means "no timeout" — runs are unbounded (an explicit opt-in,
+	// because the zero value must keep meaning "default", not "forever").
 	RunTimeout time.Duration
 }
 
@@ -54,6 +79,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxConcurrentRuns == 0 {
 		o.MaxConcurrentRuns = 2
 	}
+	if o.MaxQueuedRuns == 0 {
+		o.MaxQueuedRuns = 32
+	}
 	if o.RunTimeout == 0 {
 		o.RunTimeout = 60 * time.Second
 	}
@@ -62,12 +90,14 @@ func (o Options) withDefaults() Options {
 
 // Server is the cadaptived HTTP service.
 type Server struct {
-	opts  Options
-	cache *resultCache
-	sem   chan struct{} // bounds concurrent experiment runs
-	met   metrics
-	mux   *http.ServeMux
-	http  *http.Server
+	opts     Options
+	cache    *resultCache
+	sem      chan struct{} // bounds concurrent experiment runs
+	met      metrics
+	mux      *http.ServeMux
+	handler  http.Handler // mux wrapped in recovery middleware
+	http     *http.Server
+	draining atomic.Bool // set before http.Server.Shutdown begins
 
 	// runFn is core.RunContext; tests swap in controllable runs.
 	runFn func(ctx context.Context, id string, cfg core.Config) (*core.Table, error)
@@ -82,8 +112,8 @@ func New(opts Options) (*Server, error) {
 	if opts.MaxConcurrentRuns < 1 {
 		return nil, fmt.Errorf("service: MaxConcurrentRuns %d < 1", opts.MaxConcurrentRuns)
 	}
-	if opts.RunTimeout < 0 {
-		return nil, fmt.Errorf("service: negative RunTimeout %v", opts.RunTimeout)
+	if opts.MaxQueuedRuns < 1 {
+		return nil, fmt.Errorf("service: MaxQueuedRuns %d < 1 (shedding needs at least one queue slot)", opts.MaxQueuedRuns)
 	}
 	s := &Server{
 		opts:  opts,
@@ -96,12 +126,38 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.http = &http.Server{Addr: opts.Addr, Handler: s.mux}
+	s.handler = s.withRecovery(s.mux)
+	s.http = &http.Server{Addr: opts.Addr, Handler: s.handler}
 	return s, nil
 }
 
-// Handler exposes the route table (httptest servers, embedding).
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler exposes the route table — wrapped in the panic-isolating
+// middleware, exactly as ListenAndServe serves it (httptest servers,
+// embedding).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// withRecovery is the outermost middleware: a panic anywhere below it —
+// handler code, encoding, an injected service.handler fault — becomes a
+// 500 with a JSON body and a bumped panic counter, never a dead process.
+// net/http would recover a handler panic too, but by killing the
+// connection mid-response; this keeps the reply well-formed for clients
+// that retry on status codes.
+func (s *Server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.met.panics.Add(1)
+				// If the handler already wrote a header this WriteHeader is
+				// superfluous (logged by net/http, harmless); the common
+				// panic-before-write case gets a clean 500.
+				writeJSON(w, http.StatusInternalServerError, errorResponse{
+					Error: fmt.Sprintf("internal error: panic: %v", rec),
+				})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
 
 // ListenAndServe serves on Options.Addr until Shutdown or failure.
 func (s *Server) ListenAndServe() error { return s.http.ListenAndServe() }
@@ -109,41 +165,94 @@ func (s *Server) ListenAndServe() error { return s.http.ListenAndServe() }
 // Serve serves on l until Shutdown or failure.
 func (s *Server) Serve(l net.Listener) error { return s.http.Serve(l) }
 
-// Shutdown stops accepting new connections and blocks until every in-flight
-// request — including the experiment run inside it — completes, or ctx
-// expires. Runs are never killed by shutdown: their handlers finish and
-// their results land in the cache before Shutdown returns.
-func (s *Server) Shutdown(ctx context.Context) error { return s.http.Shutdown(ctx) }
+// Shutdown marks the server draining (so /healthz flips to 503 and load
+// balancers stop routing here), then stops accepting new connections and
+// blocks until every in-flight request — including the experiment run
+// inside it — completes, or ctx expires. Runs are never killed by
+// shutdown: their handlers finish and their results land in the cache
+// before Shutdown returns.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	return s.http.Shutdown(ctx)
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// acquireRunSlot admits one run through the bounded queue + semaphore.
+// A free slot is taken immediately; otherwise the caller waits in the
+// admission queue — unless it is full, in which case the request is shed
+// with ErrOverloaded. Returns a release func on success.
+func (s *Server) acquireRunSlot(ctx context.Context) (release func(), err error) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, nil
+	default:
+	}
+	if q := s.met.queued.Add(1); q > int64(s.opts.MaxQueuedRuns) {
+		s.met.queued.Add(-1)
+		return nil, fmt.Errorf("%w: %d runs in flight, %d queued", ErrOverloaded, len(s.sem), s.opts.MaxQueuedRuns)
+	}
+	defer s.met.queued.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
 
 // runCached computes (or replays) the result body for one run request.
 // reqCtx bounds queueing and coalesced waiting; the run itself executes
 // under the server's RunTimeout, detached from the individual client,
 // because its result is shared by every present and future request for the
 // same key.
+//
+// Accounting contract (asserted by the chaos suite): every call increments
+// requests and exactly one of hits / misses / coalesced / sheds, so
+// hits + misses + coalesced + sheds == requests at every quiescent point.
 func (s *Server) runCached(reqCtx context.Context, id string, cfg core.Config) ([]byte, string, outcome, error) {
+	s.met.requests.Add(1)
 	key := core.CacheKey(id, cfg)
 	body, oc, err := s.cache.do(reqCtx, key, func() ([]byte, error) {
-		select {
-		case s.sem <- struct{}{}:
-		case <-reqCtx.Done():
-			return nil, reqCtx.Err()
+		release, aerr := s.acquireRunSlot(reqCtx)
+		if aerr != nil {
+			return nil, aerr
 		}
-		defer func() { <-s.sem }()
+		defer release()
+
+		if ferr := fault.Fire(fault.PointServiceRun); ferr != nil {
+			return nil, ferr
+		}
 
 		s.met.runsStarted.Add(1)
 		s.met.inFlight.Add(1)
 		defer s.met.inFlight.Add(-1)
 
-		runCtx, cancel := context.WithTimeout(context.WithoutCancel(reqCtx), s.opts.RunTimeout)
-		defer cancel()
+		// RunTimeout <= 0 means unbounded (Options documents the opt-in);
+		// either way the run is detached from the individual client,
+		// because its result is shared.
+		runCtx := context.WithoutCancel(reqCtx)
+		if s.opts.RunTimeout > 0 {
+			var cancel context.CancelFunc
+			runCtx, cancel = context.WithTimeout(runCtx, s.opts.RunTimeout)
+			defer cancel()
+		}
 		t, err := s.runFn(runCtx, id, cfg)
 		if err != nil {
 			s.met.runsFailed.Add(1)
 			return nil, err
 		}
+		if ferr := fault.Fire(fault.PointServiceCache); ferr != nil {
+			s.met.runsFailed.Add(1)
+			return nil, ferr
+		}
 		s.met.recordRun(t)
 		return json.Marshal(t)
 	})
+	if oc == outcomeMiss && errors.Is(err, ErrOverloaded) {
+		oc = outcomeShed // the leader was shed at admission, it never ran
+	}
 	s.met.record(oc)
 	return body, key, oc, err
 }

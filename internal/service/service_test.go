@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 )
 
 // smokeConfig matches the cheap config the rest of the suite uses.
@@ -80,7 +81,7 @@ func TestServiceCacheHit(t *testing.T) {
 	if resp1.StatusCode != http.StatusOK {
 		t.Fatalf("first POST: %d: %s", resp1.StatusCode, data1)
 	}
-	var r1, r2 runResponse
+	var r1, r2 RunResponse
 	if err := json.Unmarshal(data1, &r1); err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestServiceCLIAndServerTablesIdentical(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("POST: %d: %s", resp.StatusCode, data)
 	}
-	var r runResponse
+	var r RunResponse
 	if err := json.Unmarshal(data, &r); err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestServiceSingleflightCollapse(t *testing.T) {
 	var wg sync.WaitGroup
 	type result struct {
 		status int
-		resp   runResponse
+		resp   RunResponse
 	}
 	results := make([]result, clients)
 	var arrived atomic.Int64
@@ -431,6 +432,217 @@ func TestServiceGracefulShutdownDrains(t *testing.T) {
 	}
 }
 
+// TestServicePanicIsolatedByMiddleware: a run function that panics must
+// surface as a 500 with a JSON body — the process, the listener, and the
+// cache key all stay usable, and the singleflight entry is released.
+func TestServicePanicIsolatedByMiddleware(t *testing.T) {
+	var calls atomic.Int64
+	s := newTestServer(t, Options{})
+	s.runFn = func(ctx context.Context, id string, cfg core.Config) (*core.Table, error) {
+		if calls.Add(1) == 1 {
+			panic("poisoned cell")
+		}
+		return &core.Table{ID: id, Header: []string{"x"}, Rows: [][]string{{"1"}}}, nil
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := runBody(smokeConfig(), "E3")
+	resp, data := postRun(t, ts, body)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking run: status %d, want 500: %s", resp.StatusCode, data)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(data, &e); err != nil || !strings.Contains(e.Error, "panicked") {
+		t.Fatalf("panicking run body %s (err %v), want a JSON error naming the panic", data, err)
+	}
+
+	// The key must stay retryable: the second request runs and succeeds.
+	resp2, data2 := postRun(t, ts, body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("retry after panic: status %d: %s", resp2.StatusCode, data2)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("run function called %d times, want 2 (panic must not cache or wedge the key)", calls.Load())
+	}
+}
+
+// TestServiceHandlerPanicCounted drives a panic through the middleware via
+// a handler-level injected fault and checks the /metrics panic counter.
+func TestServiceHandlerPanicCounted(t *testing.T) {
+	s := newTestServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if _, err := fault.Enable(11, "service.handler:panic:1"); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Disable()
+	resp, data := postRun(t, ts, runBody(smokeConfig(), "E3"))
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500: %s", resp.StatusCode, data)
+	}
+	fault.Disable()
+
+	var m metricsSnapshot
+	getJSON(t, ts, "/metrics", &m)
+	if m.Service.Panics != 1 {
+		t.Errorf("panics counter = %d, want 1", m.Service.Panics)
+	}
+}
+
+// TestServiceShedsWhenQueueFull fills every run slot and queue slot with
+// distinct blocked runs; the next distinct request must be shed 503 with
+// Retry-After, counted, and never reach the run function.
+func TestServiceShedsWhenQueueFull(t *testing.T) {
+	const maxRuns, maxQueue = 1, 2
+	started := make(chan string, maxRuns)
+	release := make(chan struct{})
+	var ran atomic.Int64
+	s := newTestServer(t, Options{MaxConcurrentRuns: maxRuns, MaxQueuedRuns: maxQueue})
+	s.runFn = func(ctx context.Context, id string, cfg core.Config) (*core.Table, error) {
+		ran.Add(1)
+		started <- id
+		<-release
+		return &core.Table{ID: id, Header: []string{"x"}, Rows: [][]string{{"1"}}}, nil
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// One running + maxQueue queued, all distinct experiments so nothing
+	// coalesces.
+	ids := []string{"E1", "E2", "E3"}
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			resp, data := postRun(t, ts, runBody(smokeConfig(), id))
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("%s: status %d: %s", id, resp.StatusCode, data)
+			}
+		}(id)
+	}
+	<-started // one run is in flight; the others pile into the queue
+	waitForQueueDepth(t, ts, maxQueue)
+
+	// Queue is provably full: this request must shed.
+	resp, data := postRun(t, ts, runBody(smokeConfig(), "E4"))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow request: status %d, want 503: %s", resp.StatusCode, data)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("shed response has no Retry-After header")
+	}
+
+	close(release)
+	for range ids[1:] {
+		<-started
+	}
+	wg.Wait()
+
+	var m metricsSnapshot
+	getJSON(t, ts, "/metrics", &m)
+	if m.Service.Sheds != 1 {
+		t.Errorf("sheds = %d, want 1", m.Service.Sheds)
+	}
+	if ran.Load() != int64(len(ids)) {
+		t.Errorf("run function executed %d times, want %d (the shed request must not run)", ran.Load(), len(ids))
+	}
+	if got := m.Cache.Hits + m.Cache.Misses + m.Cache.Coalesced + m.Service.Sheds; got != m.Service.Requests {
+		t.Errorf("conservation violated: hits+misses+coalesced+sheds = %d, requests = %d", got, m.Service.Requests)
+	}
+	if m.Service.QueueDepth != 0 {
+		t.Errorf("queue depth = %d after drain, want 0", m.Service.QueueDepth)
+	}
+}
+
+// waitForQueueDepth polls /metrics until the admission queue holds depth
+// waiters (the queue gauge is the only externally observable signal that
+// blocked requests have actually reached the semaphore wait).
+func waitForQueueDepth(t *testing.T, ts *httptest.Server, depth int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		var m metricsSnapshot
+		getJSON(t, ts, "/metrics", &m)
+		if m.Service.QueueDepth >= int64(depth) {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("admission queue never reached depth %d", depth)
+}
+
+// TestServiceHealthzDraining: once Shutdown begins, /healthz flips to 503
+// "draining" for the rest of the server's life.
+func TestServiceHealthzDraining(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	s := newTestServer(t, Options{})
+	s.runFn = func(ctx context.Context, id string, cfg core.Config) (*core.Table, error) {
+		close(started)
+		<-release
+		return &core.Table{ID: id, Header: []string{"x"}, Rows: [][]string{{"1"}}}, nil
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(l) }()
+	url := "http://" + l.Addr().String()
+
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy /healthz: %d, want 200", resp.StatusCode)
+	}
+
+	go func() {
+		_, _ = http.Post(url+"/v1/run", "application/json", strings.NewReader(runBody(smokeConfig(), "E3")))
+	}()
+	<-started // a run is in flight, so Shutdown will block draining it
+
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- s.Shutdown(context.Background()) }()
+
+	// The drain flag flips before http.Server.Shutdown starts closing
+	// listeners; while the in-flight run holds Shutdown open, /healthz —
+	// exercised through the handler, since fresh connections are already
+	// refused — must answer 503 "draining" (keep-alive probes from a load
+	// balancer would see the same).
+	deadline := time.Now().Add(5 * time.Second)
+	for !s.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("drain flag never set after Shutdown began")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("draining /healthz status %d, want 503", rec.Code)
+	}
+	var body struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(rec.Body).Decode(&body); err != nil || body.Status != "draining" {
+		t.Errorf("draining /healthz body %q (err %v), want \"draining\"", body.Status, err)
+	}
+
+	close(release)
+	if err := <-shutdownDone; err != nil {
+		t.Errorf("Shutdown: %v", err)
+	}
+	if err := <-serveErr; err != http.ErrServerClosed {
+		t.Errorf("Serve returned %v, want http.ErrServerClosed", err)
+	}
+}
+
 // TestServiceExperimentsEndpoint mirrors `cadaptive -list`.
 func TestServiceExperimentsEndpoint(t *testing.T) {
 	s := newTestServer(t, Options{})
@@ -438,7 +650,7 @@ func TestServiceExperimentsEndpoint(t *testing.T) {
 	defer ts.Close()
 
 	var body struct {
-		Experiments []experimentInfo `json:"experiments"`
+		Experiments []ExperimentInfo `json:"experiments"`
 	}
 	resp := getJSON(t, ts, "/v1/experiments", &body)
 	if resp.StatusCode != http.StatusOK {
@@ -489,7 +701,39 @@ func TestServiceOptionsValidation(t *testing.T) {
 	if _, err := New(Options{MaxConcurrentRuns: -2}); err == nil {
 		t.Error("negative MaxConcurrentRuns accepted")
 	}
-	if _, err := New(Options{RunTimeout: -time.Second}); err == nil {
-		t.Error("negative RunTimeout accepted")
+	if _, err := New(Options{MaxQueuedRuns: -1}); err == nil {
+		t.Error("negative MaxQueuedRuns accepted")
+	}
+	// RunTimeout < 0 is the documented "no timeout" opt-in; 0 keeps the
+	// default. Both must be accepted.
+	s, err := New(Options{RunTimeout: -time.Second})
+	if err != nil {
+		t.Fatalf("RunTimeout -1s (unbounded) rejected: %v", err)
+	}
+	if s.opts.RunTimeout >= 0 {
+		t.Errorf("unbounded RunTimeout was defaulted to %v", s.opts.RunTimeout)
+	}
+	if s, err = New(Options{}); err != nil || s.opts.RunTimeout != 60*time.Second {
+		t.Errorf("zero RunTimeout => %v, %v; want the 60s default", s.opts.RunTimeout, err)
+	}
+}
+
+// TestServiceUnboundedRunTimeout proves RunTimeout < 0 really is "no
+// deadline": the run context the server hands to runFn must have none.
+func TestServiceUnboundedRunTimeout(t *testing.T) {
+	s := newTestServer(t, Options{RunTimeout: -1})
+	deadlines := make(chan bool, 1)
+	s.runFn = func(ctx context.Context, id string, cfg core.Config) (*core.Table, error) {
+		_, has := ctx.Deadline()
+		deadlines <- has
+		return &core.Table{ID: id, Header: []string{"x"}, Rows: [][]string{{"1"}}}, nil
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if resp, data := postRun(t, ts, runBody(smokeConfig(), "E3")); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	if <-deadlines {
+		t.Error("run context carries a deadline despite RunTimeout < 0")
 	}
 }

@@ -42,7 +42,18 @@ echo "== go test -race (service + paging properties) =="
 go test -race -short \
     ./internal/service/ \
     ./internal/paging/ \
-    -run 'TestService|TestCache|TestLRU|TestOPT|TestHitsPlusMisses|TestShrink'
+    -run 'TestService|TestCache|TestLRU|TestOPT|TestHitsPlusMisses|TestShrink|TestClient'
+
+echo "== go test -race (fault injection) =="
+go test -race -short ./internal/fault/
+
+echo "== chaos smoke =="
+# The deterministic fault storm: concurrent clients against a real server
+# with every injection point armed at a fixed seed. Asserts process
+# survival, no deadlock, valid statuses, metrics conservation, and
+# post-retry result identity with a fault-free run. Under -race so the
+# fault paths (panic containment, queue shedding) are also race-checked.
+go test -race -count=1 -run 'TestChaos' ./internal/service/
 
 echo "== go test -race (shared cache + smoothing) =="
 go test -race -short \
