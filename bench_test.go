@@ -31,6 +31,7 @@ import (
 	"repro/internal/smoothing"
 	"repro/internal/sorting"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/xrand"
 )
 
@@ -204,6 +205,70 @@ func BenchmarkSquareRun(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSquareStreamEmit measures the full streaming pipeline: the
+// synthetic generator emitting straight into the square cache through the
+// trace.Sink interface, with no materialized trace anywhere. Compare with
+// BenchmarkSquareRun (materialize-then-replay) — the per-access kernel
+// cost is the same, the Θ(T(n)) trace buffer is gone.
+//
+// The old-vs-new kernel comparisons (array-backed LRU/FIFO/OPT against the
+// preserved map-backed oracles) live in internal/paging/bench_test.go,
+// where the oracles are visible.
+func BenchmarkSquareStreamEmit(b *testing.B) {
+	spec := regular.MMScanSpec
+	n := profile.Pow(4, 5)
+	c := &trace.CountingSink{}
+	if err := regular.EmitSynthetic(spec, n, c); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(c.Refs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src, err := profile.NewSliceSource(profile.MustNew([]int64{64}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		q := paging.NewSquareStream(src, 0)
+		q.Reserve(n - 1)
+		if err := regular.EmitSynthetic(spec, n, q); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := q.Finish(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*float64(c.Refs)), "ns/access")
+}
+
+// BenchmarkLRUStreamEmit measures the generator→LRU streaming path used by
+// mmtrace -stream -lru: emission and replay fused, no trace buffer.
+func BenchmarkLRUStreamEmit(b *testing.B) {
+	spec := regular.MMScanSpec
+	n := profile.Pow(4, 5)
+	c := &trace.CountingSink{}
+	if err := regular.EmitSynthetic(spec, n, c); err != nil {
+		b.Fatal(err)
+	}
+	l, err := paging.NewLRU(128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l.Reserve(c.MaxBlock)
+	b.SetBytes(c.Refs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Clear()
+		if err := regular.EmitSynthetic(spec, n, paging.CacheSink{Cache: l}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*float64(c.Refs)), "ns/access")
 }
 
 // BenchmarkLRU measures the dynamic-capacity LRU on a synthetic trace.

@@ -6,6 +6,12 @@
 //	mmtrace -alg scan -dim 128 -block 8 -stats          # trace statistics
 //	mmtrace -alg inplace -dim 128 -lru 256              # DAM misses at fixed M
 //	mmtrace -alg scan -dim 128 -worstcase -reps 16      # multiplies under Fig-1 profile
+//	mmtrace -alg scan -dim 1024 -stream -worstcase      # same, streaming (no materialized trace)
+//
+// With -stream the trace is regenerated into each consumer instead of
+// being built once in memory, so sizes whose materialized trace would not
+// fit stream fine (the -opt replay is the one consumer that inherently
+// needs the full trace and refuses -stream).
 //
 // This is the substrate behind experiments E9 and E11.
 package main
@@ -31,6 +37,31 @@ func main() {
 	}
 }
 
+// distinctSink counts references, leaves, and distinct blocks without
+// storing the trace.
+type distinctSink struct {
+	trace.CountingSink
+	seen     []bool
+	distinct int64
+}
+
+func (d *distinctSink) Access(block int64) {
+	d.CountingSink.Access(block)
+	for block >= int64(len(d.seen)) {
+		d.seen = append(d.seen, make([]bool, len(d.seen)+1024)...)
+	}
+	if !d.seen[block] {
+		d.seen[block] = true
+		d.distinct++
+	}
+}
+
+func (d *distinctSink) AccessRange(lo, count int64) {
+	for i := int64(0); i < count; i++ {
+		d.Access(lo + i)
+	}
+}
+
 func run() error {
 	var (
 		alg       = flag.String("alg", "scan", "scan | inplace | strassen | fwscan | fwinplace | lcs | mergesort")
@@ -38,62 +69,105 @@ func run() error {
 		block     = flag.Int64("block", 8, "words per block")
 		stats     = flag.Bool("stats", false, "print trace statistics")
 		lru       = flag.Int64("lru", 0, "replay under fixed-capacity LRU with this many blocks")
-		opt       = flag.Bool("opt", false, "also replay under Belady OPT (with -lru)")
+		opt       = flag.Bool("opt", false, "also replay under Belady OPT (with -lru; needs a materialized trace)")
 		worstcase = flag.Bool("worstcase", false, "count multiplies completed within the Figure-1 profile")
 		reps      = flag.Int("reps", 16, "repetitions for -worstcase")
 		profPath  = flag.String("profile", "", "replay the trace against a TSV square profile (e.g. from profilegen)")
+		stream    = flag.Bool("stream", false, "stream the trace into each consumer instead of materializing it")
 	)
 	flag.Parse()
 
-	var tr *trace.Trace
-	var err error
+	var emit func(trace.Sink) error
 	switch *alg {
 	case "scan":
-		tr, err = matrix.TraceMulScan(*dim, *block)
+		emit = func(s trace.Sink) error { return matrix.EmitMulScan(*dim, *block, s) }
 	case "inplace":
-		tr, err = matrix.TraceMulInPlace(*dim, *block)
+		emit = func(s trace.Sink) error { return matrix.EmitMulInPlace(*dim, *block, s) }
 	case "strassen":
-		tr, err = matrix.TraceMulStrassen(*dim, *block)
+		emit = func(s trace.Sink) error { return matrix.EmitMulStrassen(*dim, *block, s) }
 	case "fwscan":
-		tr, err = gep.TraceFWScan(*dim, *block)
+		emit = func(s trace.Sink) error { return gep.EmitFWScan(*dim, *block, s) }
 	case "fwinplace":
-		tr, err = gep.TraceFWInPlace(*dim, *block)
+		emit = func(s trace.Sink) error { return gep.EmitFWInPlace(*dim, *block, s) }
 	case "lcs":
-		tr, err = dp.TraceLCS(*dim, *block)
+		emit = func(s trace.Sink) error { return dp.EmitLCS(*dim, *block, s) }
 	case "mergesort":
-		tr, err = sorting.TraceMergeSort(*dim, *block)
+		emit = func(s trace.Sink) error { return sorting.EmitMergeSort(*dim, *block, s) }
 	default:
 		return fmt.Errorf("unknown algorithm %q", *alg)
 	}
-	if err != nil {
-		return err
+
+	// Without -stream, materialize once and reuse the trace for every
+	// consumer, exactly as before.
+	var tr *trace.Trace
+	if !*stream {
+		b := &trace.Builder{}
+		if err := emit(b); err != nil {
+			return err
+		}
+		tr = b.Build()
+	}
+	// measure streams one emission through a counting sink; with a
+	// materialized trace it reads the stored summary instead.
+	measure := func() (refs, leaves, maxBlock int64, err error) {
+		if tr != nil {
+			return int64(tr.Len()), tr.Leaves(), tr.MaxBlock(), nil
+		}
+		c := &trace.CountingSink{}
+		if err := emit(c); err != nil {
+			return 0, 0, 0, err
+		}
+		return c.Refs, c.Leaves, c.MaxBlock, nil
 	}
 
 	did := false
 	if *stats {
 		fmt.Printf("algorithm=%s dim=%d B=%d\n", *alg, *dim, *block)
-		fmt.Printf("references=%d distinct-blocks=%d base-cases=%d\n",
-			tr.Len(), tr.DistinctBlocks(), tr.Leaves())
+		if tr != nil {
+			fmt.Printf("references=%d distinct-blocks=%d base-cases=%d\n",
+				tr.Len(), tr.DistinctBlocks(), tr.Leaves())
+		} else {
+			d := &distinctSink{}
+			if err := emit(d); err != nil {
+				return err
+			}
+			fmt.Printf("references=%d distinct-blocks=%d base-cases=%d\n",
+				d.Refs, d.distinct, d.Leaves)
+		}
 		did = true
 	}
 	if *lru > 0 {
-		misses, err := paging.RunLRUFixed(tr, *lru)
+		refs, _, _, err := measure()
 		if err != nil {
 			return err
 		}
+		l, err := paging.NewLRU(*lru)
+		if err != nil {
+			return err
+		}
+		if tr != nil {
+			l.Reserve(tr.MaxBlock())
+			trace.Replay(tr, paging.CacheSink{Cache: l})
+		} else if err := emit(paging.CacheSink{Cache: l}); err != nil {
+			return err
+		}
 		fmt.Printf("LRU(M=%d blocks): %d misses (%.1f%% of references)\n",
-			*lru, misses, 100*float64(misses)/float64(tr.Len()))
+			*lru, l.Misses(), 100*float64(l.Misses())/float64(refs))
 		if *opt {
+			if tr == nil {
+				return fmt.Errorf("-opt needs the full trace for the next-use precomputation; drop -stream")
+			}
 			om, err := paging.RunOPTFixed(tr, *lru)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("OPT(M=%d blocks): %d misses (LRU/OPT = %.2f)\n", *lru, om, float64(misses)/float64(om))
+			fmt.Printf("OPT(M=%d blocks): %d misses (LRU/OPT = %.2f)\n", *lru, om, float64(l.Misses())/float64(om))
 		}
 		did = true
 	}
 	if *worstcase {
 		var wc *profile.SquareProfile
+		var err error
 		switch *alg {
 		case "scan", "inplace", "strassen":
 			wc, err = matrix.WorstCaseProfile(*dim, *block)
@@ -107,25 +181,35 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		rep, err := matrix.RepeatTraceFresh(tr, *reps)
+		refs, _, maxBlock, err := measure()
 		if err != nil {
 			return err
 		}
-		end, err := paging.SquareRunFrom(rep, 0, wc.Boxes())
-		if err != nil {
+		f := paging.NewSquareFinisher(wc.Boxes())
+		if tr != nil {
+			trace.ReplayRepeat(tr, f, *reps, maxBlock+1)
+		} else {
+			stride := maxBlock + 1
+			for r := 0; r < *reps; r++ {
+				if err := emit(trace.OffsetSink{S: f, Shift: int64(r) * stride}); err != nil {
+					return err
+				}
+			}
+		}
+		if err := f.Err(); err != nil {
 			return err
 		}
 		fmt.Printf("worst-case profile: %d boxes, %d I/Os; %s completed %d multiplies\n",
-			wc.Len(), wc.Duration(), *alg, end/tr.Len())
+			wc.Len(), wc.Duration(), *alg, f.Served()/refs)
 		did = true
 	}
 	if *profPath != "" {
-		f, err := os.Open(*profPath)
+		pf, err := os.Open(*profPath)
 		if err != nil {
 			return err
 		}
-		prof, err := profile.ReadTSV(f)
-		f.Close()
+		prof, err := profile.ReadTSV(pf)
+		pf.Close()
 		if err != nil {
 			return err
 		}
@@ -136,13 +220,20 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		stats, err := paging.SquareRun(tr, src, 0)
+		q := paging.NewSquareStream(src, 0)
+		if tr != nil {
+			q.Reserve(tr.MaxBlock())
+			trace.Replay(tr, q)
+		} else if err := emit(q); err != nil {
+			return err
+		}
+		st, err := q.Finish()
 		if err != nil {
 			return err
 		}
 		fmt.Printf("custom profile %s (%d boxes, cycled as needed):\n", *profPath, prof.Len())
 		fmt.Printf("boxes used=%d IOs=%d base-cases completed=%d\n",
-			len(stats), paging.TotalIOs(stats), paging.TotalLeaves(stats))
+			len(st), paging.TotalIOs(st), paging.TotalLeaves(st))
 		did = true
 	}
 	if !did {

@@ -94,16 +94,19 @@ func MeasureSymbolicExec(e *regular.Exec, src profile.Source, maxBoxes int64) (R
 	return res, nil
 }
 
-// MeasureTrace replays the canonical synthetic trace for spec on n blocks
+// MeasureTrace streams the canonical synthetic trace for spec on n blocks
 // through the square-semantics cache against boxes from src. This is the
-// ground-truth backend; it is exact for every c but costs Θ(T(n)) time and
-// memory for the trace.
+// ground-truth backend; it is exact for every c. The trace is never
+// materialized — the generator emits straight into the square-cache sink —
+// so memory is O(n) (the residency set) rather than Θ(T(n)), and problem
+// sizes far beyond SyntheticTrace's materialization ceiling stream fine.
 func MeasureTrace(spec regular.Spec, n int64, src profile.Source, maxBoxes int64) (RunResult, error) {
-	tr, err := regular.SyntheticTrace(spec, n)
-	if err != nil {
+	q := paging.NewSquareStream(src, maxBoxes)
+	q.Reserve(n - 1)
+	if err := regular.EmitSynthetic(spec, n, q); err != nil {
 		return RunResult{}, err
 	}
-	stats, err := paging.SquareRun(tr, src, maxBoxes)
+	stats, err := q.Finish()
 	if err != nil {
 		return RunResult{}, err
 	}

@@ -71,12 +71,19 @@ func runA1(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		gapOf := func(tr *trace.Trace) (float64, error) {
+		// gapOf streams a generated trace straight into the square cache —
+		// the trace is never materialized.
+		gapOf := func(emit func(trace.Sink) error) (float64, error) {
 			src, err := profile.NewSliceSource(wc)
 			if err != nil {
 				return 0, err
 			}
-			st, err := paging.SquareRun(tr, src, 0)
+			q := paging.NewSquareStream(src, 0)
+			q.Reserve(n - 1)
+			if err := emit(q); err != nil {
+				return 0, err
+			}
+			st, err := q.Finish()
 			if err != nil {
 				return 0, err
 			}
@@ -87,21 +94,17 @@ func runA1(cfg Config) (*Table, error) {
 			return pot / spec.Potential(n), nil
 		}
 
-		canonTr, err := regular.SyntheticTrace(spec, n)
-		if err != nil {
-			return nil, err
-		}
-		canon, err := gapOf(canonTr)
+		canon, err := gapOf(func(s trace.Sink) error {
+			return regular.EmitSynthetic(spec, n, s)
+		})
 		if err != nil {
 			return nil, err
 		}
 		var gaps []float64
 		for trial := 0; trial < trials; trial++ {
-			tr, err := regular.SyntheticTraceShuffled(spec, n, rng)
-			if err != nil {
-				return nil, err
-			}
-			g, err := gapOf(tr)
+			g, err := gapOf(func(s trace.Sink) error {
+				return regular.EmitSyntheticShuffled(spec, n, rng, s)
+			})
 			if err != nil {
 				return nil, err
 			}
@@ -127,15 +130,12 @@ func runA1(cfg Config) (*Table, error) {
 		}
 		boxes := wc.Boxes()
 		multiplies := func(tr *trace.Trace) (float64, error) {
-			rep, err := matrix.RepeatTraceFresh(tr, 8)
-			if err != nil {
+			f := paging.NewSquareFinisher(boxes)
+			trace.ReplayRepeat(tr, f, 8, tr.MaxBlock()+1)
+			if err := f.Err(); err != nil {
 				return 0, err
 			}
-			end, err := paging.SquareRunFrom(rep, 0, boxes)
-			if err != nil {
-				return 0, err
-			}
-			return float64(end / tr.Len()), nil
+			return float64(int(f.Served()) / tr.Len()), nil
 		}
 		canonTr, err := matrix.TraceMulScan(dim, bw)
 		if err != nil {
@@ -268,15 +268,16 @@ func runA3(cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			tr, err := regular.SyntheticTrace(spec, n)
-			if err != nil {
-				return nil, err
-			}
 			src, err := profile.NewSliceSource(wc)
 			if err != nil {
 				return nil, err
 			}
-			st, err := paging.SquareRun(tr, src, 0)
+			q := paging.NewSquareStream(src, 0)
+			q.Reserve(n - 1)
+			if err := regular.EmitSynthetic(spec, n, q); err != nil {
+				return nil, err
+			}
+			st, err := q.Finish()
 			if err != nil {
 				return nil, err
 			}

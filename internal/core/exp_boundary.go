@@ -84,24 +84,23 @@ func runA5(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		stride := tr.MaxBlock() + 1
 		const reps = 8
-		b := &trace.Builder{}
-		for r := int64(0); r < reps; r++ {
-			for i := 0; i < tr.Len(); i++ {
-				b.Access(tr.Block(i) + r*stride)
-				if tr.EndsLeaf(i) {
-					b.EndLeaf()
-				}
+		// Stream the fresh-address repetitions straight into the square
+		// finisher for each profile — the repeated trace is never built.
+		countSorts := func(boxes []int64) (int, error) {
+			f := paging.NewSquareFinisher(boxes)
+			trace.ReplayRepeat(tr, f, reps, tr.MaxBlock()+1)
+			if err := f.Err(); err != nil {
+				return 0, err
 			}
+			return int(f.Served()), nil
 		}
-		rep := b.Build()
-		endOrdered, err := paging.SquareRunFrom(rep, 0, wc.Boxes())
+		endOrdered, err := countSorts(wc.Boxes())
 		if err != nil {
 			return nil, err
 		}
 		sh := smoothing.Shuffle(wc, rng)
-		endShuffled, err := paging.SquareRunFrom(rep, 0, sh.Boxes())
+		endShuffled, err := countSorts(sh.Boxes())
 		if err != nil {
 			return nil, err
 		}

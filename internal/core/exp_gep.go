@@ -44,21 +44,12 @@ func runA4(cfg Config) (*Table, error) {
 		}
 		boxes := wc.Boxes()
 		count := func(tr *trace.Trace) (int, error) {
-			stride := tr.MaxBlock() + 1
-			b := &trace.Builder{}
-			for r := int64(0); r < reps; r++ {
-				for j := 0; j < tr.Len(); j++ {
-					b.Access(tr.Block(j) + r*stride)
-					if tr.EndsLeaf(j) {
-						b.EndLeaf()
-					}
-				}
-			}
-			end, err := paging.SquareRunFrom(b.Build(), 0, boxes)
-			if err != nil {
+			f := paging.NewSquareFinisher(boxes)
+			trace.ReplayRepeat(tr, f, reps, tr.MaxBlock()+1)
+			if err := f.Err(); err != nil {
 				return 0, err
 			}
-			return end / tr.Len(), nil
+			return int(f.Served()) / tr.Len(), nil
 		}
 		scanTr, err := gep.TraceFWScan(dim, bw)
 		if err != nil {

@@ -47,6 +47,12 @@ func runE9(cfg Config) (*Table, error) {
 	if cfg.MaxK >= 7 {
 		dims = append(dims, 512)
 	}
+	if cfg.MaxK >= 8 {
+		// Only reachable above the seed config: the streaming-repeat path
+		// keeps memory at one base trace, so this rung costs MBs where the
+		// old materialized repeat would have needed ~12 GB.
+		dims = append(dims, 1024)
+	}
 	var lastScan, lastInp int
 	firstInp := 0
 	for i, dim := range dims {
@@ -55,19 +61,21 @@ func runE9(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		boxes := wc.Boxes()
-		// 12 repetitions comfortably exceed the profile's capacity for both
-		// algorithms at every size here while keeping the dim-512 repeated
-		// trace within memory.
+		// Enough repetitions to comfortably exceed the profile's capacity for
+		// both algorithms at every size. The repetitions are streamed into
+		// the square finisher with fresh address ranges per rep (the
+		// RepeatTraceFresh semantics), never materialized.
+		reps := 12
+		if dim >= 1024 {
+			reps = 16
+		}
 		count := func(tr *trace.Trace) (int, error) {
-			rep, err := matrix.RepeatTraceFresh(tr, 12)
-			if err != nil {
+			f := paging.NewSquareFinisher(boxes)
+			trace.ReplayRepeat(tr, f, reps, tr.MaxBlock()+1)
+			if err := f.Err(); err != nil {
 				return 0, err
 			}
-			end, err := paging.SquareRunFrom(rep, 0, boxes)
-			if err != nil {
-				return 0, err
-			}
-			return end / tr.Len(), nil
+			return int(f.Served()) / tr.Len(), nil
 		}
 		scanTr, err := matrix.TraceMulScan(dim, bw)
 		if err != nil {

@@ -18,22 +18,31 @@ import (
 // leaf. The per-call boundary stitch is the linear scan: Θ(m/B) contiguous
 // accesses, making the kernel (4,2,1)-regular in blocks.
 func TraceLCS(xLen int, blockWords int64) (*trace.Trace, error) {
+	b := &trace.Builder{}
+	if err := EmitLCS(xLen, blockWords, b); err != nil {
+		return nil, err
+	}
+	return b.Build(), nil
+}
+
+// EmitLCS streams the LCS trace into s without materializing it.
+func EmitLCS(xLen int, blockWords int64, s trace.Sink) error {
 	if xLen < 1 || xLen&(xLen-1) != 0 {
-		return nil, fmt.Errorf("dp: traced kernel needs power-of-two length, got %d", xLen)
+		return fmt.Errorf("dp: traced kernel needs power-of-two length, got %d", xLen)
 	}
 	if xLen < baseLen {
-		return nil, fmt.Errorf("dp: traced kernel needs length >= %d, got %d", baseLen, xLen)
+		return fmt.Errorf("dp: traced kernel needs length >= %d, got %d", baseLen, xLen)
 	}
 	if blockWords < 1 {
-		return nil, fmt.Errorf("dp: block size %d < 1", blockWords)
+		return fmt.Errorf("dp: block size %d < 1", blockWords)
 	}
-	g := &lcsTraceGen{b: &trace.Builder{}, bw: blockWords, allocTop: 2 * int64(xLen)}
+	g := &lcsTraceGen{s: s, bw: blockWords, allocTop: 2 * int64(xLen)}
 	g.rec(0, int64(xLen), int64(xLen))
-	return g.b.Build(), nil
+	return nil
 }
 
 type lcsTraceGen struct {
-	b        *trace.Builder
+	s        trace.Sink
 	bw       int64
 	allocTop int64
 }
@@ -41,9 +50,7 @@ type lcsTraceGen struct {
 func (g *lcsTraceGen) touch(off, words int64) {
 	first := off / g.bw
 	last := (off + words - 1) / g.bw
-	for blk := first; blk <= last; blk++ {
-		g.b.Access(blk)
-	}
+	g.s.AccessRange(first, last-first+1)
 }
 
 // rec traces the subproblem on X[xOff..xOff+m) and the aligned Y range
@@ -58,7 +65,7 @@ func (g *lcsTraceGen) rec(xOff, m, n int64) {
 		g.allocTop += 2 * m
 		g.touch(bnd, 2*m)
 		g.allocTop = bnd
-		g.b.EndLeaf()
+		g.s.EndLeaf()
 		return
 	}
 	h := m / 2

@@ -104,19 +104,28 @@ const fftBaseLen = 8
 // touches its array blocks and scratch blocks during the split and combine
 // scans — the (2,2,1) shape in blocks.
 func TraceFFT(n int, blockWords int64) (*trace.Trace, error) {
+	b := &trace.Builder{}
+	if err := EmitFFT(n, blockWords, b); err != nil {
+		return nil, err
+	}
+	return b.Build(), nil
+}
+
+// EmitFFT streams the radix-2 FFT trace into s without materializing it.
+func EmitFFT(n int, blockWords int64, s trace.Sink) error {
 	if n < fftBaseLen || n&(n-1) != 0 {
-		return nil, fmt.Errorf("fft: traced transform needs power-of-two length >= %d, got %d", fftBaseLen, n)
+		return fmt.Errorf("fft: traced transform needs power-of-two length >= %d, got %d", fftBaseLen, n)
 	}
 	if blockWords < 1 {
-		return nil, fmt.Errorf("fft: block size %d < 1", blockWords)
+		return fmt.Errorf("fft: block size %d < 1", blockWords)
 	}
-	g := &fftTraceGen{b: &trace.Builder{}, bw: blockWords, scratchBase: int64(n)}
+	g := &fftTraceGen{s: s, bw: blockWords, scratchBase: int64(n)}
 	g.rec(0, int64(n))
-	return g.b.Build(), nil
+	return nil
 }
 
 type fftTraceGen struct {
-	b           *trace.Builder
+	s           trace.Sink
 	bw          int64
 	scratchBase int64
 }
@@ -124,15 +133,13 @@ type fftTraceGen struct {
 func (g *fftTraceGen) touch(off, words int64) {
 	first := off / g.bw
 	last := (off + words - 1) / g.bw
-	for blk := first; blk <= last; blk++ {
-		g.b.Access(blk)
-	}
+	g.s.AccessRange(first, last-first+1)
 }
 
 func (g *fftTraceGen) rec(off, m int64) {
 	if m <= fftBaseLen {
 		g.touch(off, m)
-		g.b.EndLeaf()
+		g.s.EndLeaf()
 		return
 	}
 	h := m / 2

@@ -18,7 +18,7 @@ import (
 // which is where the paper's Theorem 2 puts it in the gap.
 
 type gepTraceGen struct {
-	b          *trace.Builder
+	s          trace.Sink
 	blockWords int64
 	allocTop   int64
 }
@@ -26,9 +26,7 @@ type gepTraceGen struct {
 func (g *gepTraceGen) touch(off, words int64) {
 	first := off / g.blockWords
 	last := (off + words - 1) / g.blockWords
-	for blk := first; blk <= last; blk++ {
-		g.b.Access(blk)
-	}
+	g.s.AccessRange(first, last-first+1)
 }
 
 func validateGEPTraceArgs(dim int, blockWords int64) error {
@@ -54,20 +52,28 @@ func octant(off, d, qi, qj int64) int64 {
 // TraceFWInPlace emits the block trace of the in-place I-GEP
 // Floyd–Warshall on a dim-vertex graph.
 func TraceFWInPlace(dim int, blockWords int64) (*trace.Trace, error) {
-	if err := validateGEPTraceArgs(dim, blockWords); err != nil {
+	b := &trace.Builder{}
+	if err := EmitFWInPlace(dim, blockWords, b); err != nil {
 		return nil, err
 	}
-	g := &gepTraceGen{b: &trace.Builder{}, blockWords: blockWords}
-	d := int64(dim)
-	g.inPlace(0, 0, 0, d)
-	return g.b.Build(), nil
+	return b.Build(), nil
+}
+
+// EmitFWInPlace streams the in-place I-GEP trace into s.
+func EmitFWInPlace(dim int, blockWords int64, s trace.Sink) error {
+	if err := validateGEPTraceArgs(dim, blockWords); err != nil {
+		return err
+	}
+	g := &gepTraceGen{s: s, blockWords: blockWords}
+	g.inPlace(0, 0, 0, int64(dim))
+	return nil
 }
 
 func (g *gepTraceGen) leafCase(xOff, uOff, vOff, d int64) {
 	g.touch(uOff, d*d)
 	g.touch(vOff, d*d)
 	g.touch(xOff, d*d)
-	g.b.EndLeaf()
+	g.s.EndLeaf()
 }
 
 // inPlace mirrors fwRec's 8-call schedule.
@@ -102,13 +108,22 @@ func gepSchedule(xOff, uOff, vOff, d int64) []struct{ x, u, v int64 } {
 // Θ(d²/B) scan), and the recursion consumes the copies. This is the
 // (8,4,1)-regular formulation.
 func TraceFWScan(dim int, blockWords int64) (*trace.Trace, error) {
-	if err := validateGEPTraceArgs(dim, blockWords); err != nil {
+	b := &trace.Builder{}
+	if err := EmitFWScan(dim, blockWords, b); err != nil {
 		return nil, err
 	}
+	return b.Build(), nil
+}
+
+// EmitFWScan streams the copying-GEP trace into s.
+func EmitFWScan(dim int, blockWords int64, s trace.Sink) error {
+	if err := validateGEPTraceArgs(dim, blockWords); err != nil {
+		return err
+	}
 	d := int64(dim)
-	g := &gepTraceGen{b: &trace.Builder{}, blockWords: blockWords, allocTop: d * d}
+	g := &gepTraceGen{s: s, blockWords: blockWords, allocTop: d * d}
 	g.scan(0, 0, 0, d)
-	return g.b.Build(), nil
+	return nil
 }
 
 func (g *gepTraceGen) scan(xOff, uOff, vOff, d int64) {

@@ -16,13 +16,23 @@ import (
 // materialises an operand and the final combine are linear scans over
 // contiguous quadrant regions.
 func TraceMulStrassen(dim int, blockWords int64) (*trace.Trace, error) {
-	if err := validateTraceArgs(dim, blockWords); err != nil {
+	b := &trace.Builder{}
+	if err := EmitMulStrassen(dim, blockWords, b); err != nil {
 		return nil, err
 	}
+	return b.Build(), nil
+}
+
+// EmitMulStrassen streams the Strassen trace into s without materializing
+// it.
+func EmitMulStrassen(dim int, blockWords int64, s trace.Sink) error {
+	if err := validateTraceArgs(dim, blockWords); err != nil {
+		return err
+	}
 	d := int64(dim)
-	g := &traceGen{b: &trace.Builder{}, blockWords: blockWords, allocTop: 3 * d * d}
+	g := &traceGen{s: s, blockWords: blockWords, allocTop: 3 * d * d}
 	g.strassen(2*d*d, 0, d*d, d)
-	return g.b.Build(), nil
+	return nil
 }
 
 func (g *traceGen) strassen(cOff, aOff, bOff, d int64) {

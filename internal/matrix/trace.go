@@ -22,9 +22,11 @@ import (
 // Each base-case product marks a leaf completion (the progress unit of the
 // cache-adaptive analysis).
 
-// traceGen carries trace-generation state.
+// traceGen carries trace-generation state. It emits into any trace.Sink,
+// so the same recursion can materialize a Trace (Builder sink) or stream
+// straight into a paging kernel in bounded memory.
 type traceGen struct {
-	b          *trace.Builder
+	s          trace.Sink
 	blockWords int64 // B: words per block
 	allocTop   int64 // stack allocator watermark (in words)
 }
@@ -34,9 +36,7 @@ type traceGen struct {
 func (g *traceGen) touchRegion(off, words int64) {
 	first := off / g.blockWords
 	last := (off + words - 1) / g.blockWords
-	for blk := first; blk <= last; blk++ {
-		g.b.Access(blk)
-	}
+	g.s.AccessRange(first, last-first+1)
 }
 
 // traceBaseDim is the recursion cutoff in the traced algorithms: a base
@@ -60,13 +60,22 @@ func validateTraceArgs(dim int, blockWords int64) error {
 // TraceMulScan emits the block trace of one MM-Scan multiply of dim×dim
 // matrices with blockWords words per block.
 func TraceMulScan(dim int, blockWords int64) (*trace.Trace, error) {
-	if err := validateTraceArgs(dim, blockWords); err != nil {
+	b := &trace.Builder{}
+	if err := EmitMulScan(dim, blockWords, b); err != nil {
 		return nil, err
 	}
+	return b.Build(), nil
+}
+
+// EmitMulScan streams the MM-Scan trace into s without materializing it.
+func EmitMulScan(dim int, blockWords int64, s trace.Sink) error {
+	if err := validateTraceArgs(dim, blockWords); err != nil {
+		return err
+	}
 	d := int64(dim)
-	g := &traceGen{b: &trace.Builder{}, blockWords: blockWords, allocTop: 3 * d * d}
+	g := &traceGen{s: s, blockWords: blockWords, allocTop: 3 * d * d}
 	g.mulScan(2*d*d, 0, d*d, d)
-	return g.b.Build(), nil
+	return nil
 }
 
 func (g *traceGen) leafProduct(cOff, aOff, bOff, d int64) {
@@ -75,7 +84,7 @@ func (g *traceGen) leafProduct(cOff, aOff, bOff, d int64) {
 	g.touchRegion(aOff, d*d)
 	g.touchRegion(bOff, d*d)
 	g.touchRegion(cOff, d*d)
-	g.b.EndLeaf()
+	g.s.EndLeaf()
 }
 
 func (g *traceGen) mulScan(cOff, aOff, bOff, d int64) {
@@ -116,13 +125,22 @@ func (g *traceGen) mulScan(cOff, aOff, bOff, d int64) {
 // addressing (which temp quadrant each product writes, which input
 // quadrants it reads) is unchanged; only the order is random.
 func TraceMulScanShuffled(dim int, blockWords int64, rng *xrand.Source) (*trace.Trace, error) {
-	if err := validateTraceArgs(dim, blockWords); err != nil {
+	b := &trace.Builder{}
+	if err := EmitMulScanShuffled(dim, blockWords, rng, b); err != nil {
 		return nil, err
 	}
+	return b.Build(), nil
+}
+
+// EmitMulScanShuffled streams the shuffled MM-Scan trace into s.
+func EmitMulScanShuffled(dim int, blockWords int64, rng *xrand.Source, s trace.Sink) error {
+	if err := validateTraceArgs(dim, blockWords); err != nil {
+		return err
+	}
 	d := int64(dim)
-	g := &traceGen{b: &trace.Builder{}, blockWords: blockWords, allocTop: 3 * d * d}
+	g := &traceGen{s: s, blockWords: blockWords, allocTop: 3 * d * d}
 	g.mulScanShuffled(2*d*d, 0, d*d, d, rng)
-	return g.b.Build(), nil
+	return nil
 }
 
 func (g *traceGen) mulScanShuffled(cOff, aOff, bOff, d int64, rng *xrand.Source) {
@@ -159,13 +177,22 @@ func (g *traceGen) mulScanShuffled(cOff, aOff, bOff, d int64, rng *xrand.Source)
 // TraceMulInPlace emits the block trace of one MM-InPlace multiply of
 // dim×dim matrices with blockWords words per block.
 func TraceMulInPlace(dim int, blockWords int64) (*trace.Trace, error) {
-	if err := validateTraceArgs(dim, blockWords); err != nil {
+	b := &trace.Builder{}
+	if err := EmitMulInPlace(dim, blockWords, b); err != nil {
 		return nil, err
 	}
+	return b.Build(), nil
+}
+
+// EmitMulInPlace streams the MM-InPlace trace into s.
+func EmitMulInPlace(dim int, blockWords int64, s trace.Sink) error {
+	if err := validateTraceArgs(dim, blockWords); err != nil {
+		return err
+	}
 	d := int64(dim)
-	g := &traceGen{b: &trace.Builder{}, blockWords: blockWords}
+	g := &traceGen{s: s, blockWords: blockWords}
 	g.mulInPlace(2*d*d, 0, d*d, d)
-	return g.b.Build(), nil
+	return nil
 }
 
 func (g *traceGen) mulInPlace(cOff, aOff, bOff, d int64) {
@@ -234,14 +261,6 @@ func repeatTrace(tr *trace.Trace, reps int, stride int64) (*trace.Trace, error) 
 		return nil, fmt.Errorf("matrix: reps %d < 1", reps)
 	}
 	b := &trace.Builder{}
-	for r := 0; r < reps; r++ {
-		shift := int64(r) * stride
-		for i := 0; i < tr.Len(); i++ {
-			b.Access(tr.Block(i) + shift)
-			if tr.EndsLeaf(i) {
-				b.EndLeaf()
-			}
-		}
-	}
+	trace.ReplayRepeat(tr, b, reps, stride)
 	return b.Build(), nil
 }

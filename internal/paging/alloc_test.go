@@ -1,0 +1,76 @@
+package paging
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// Allocation regression tests: once the dense index and node pool have
+// grown to cover the working set, replaying through the array-backed
+// kernels must not allocate at all. A regression here means a per-access
+// allocation snuck back into the hot path.
+
+func TestLRUZeroAllocSteadyState(t *testing.T) {
+	src := xrand.New(xrand.Split(50, "alloc-lru", 0))
+	tr := localTrace(src, 2000, 128)
+	l, err := NewLRU(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Reserve(tr.MaxBlock())
+	// Warm up: size the node pool and free list to the working set.
+	for i := 0; i < tr.Len(); i++ {
+		l.Access(tr.Block(i))
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		for i := 0; i < tr.Len(); i++ {
+			l.Access(tr.Block(i))
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("LRU steady-state replay allocates %.1f times per run, want 0", avg)
+	}
+}
+
+func TestFIFOZeroAllocSteadyState(t *testing.T) {
+	src := xrand.New(xrand.Split(50, "alloc-fifo", 0))
+	tr := localTrace(src, 2000, 128)
+	f, err := NewFIFO(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Reserve(tr.MaxBlock())
+	for i := 0; i < tr.Len(); i++ {
+		f.Access(tr.Block(i))
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		for i := 0; i < tr.Len(); i++ {
+			f.Access(tr.Block(i))
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("FIFO steady-state replay allocates %.1f times per run, want 0", avg)
+	}
+}
+
+// TestSquareStreamBoundedState: the streaming square consumer's state
+// depends on the block universe, not the stream length — feeding 10× more
+// references of the same working set must not grow residency state.
+func TestSquareStreamBoundedState(t *testing.T) {
+	src := xrand.New(xrand.Split(50, "alloc-square", 0))
+	tr := localTrace(src, 1000, 64)
+	q := NewSquareStream(constSource{8}, 0)
+	q.Reserve(tr.MaxBlock())
+	for i := 0; i < tr.Len(); i++ {
+		q.Access(tr.Block(i))
+	}
+	if got := int64(len(q.resident)); got != tr.MaxBlock()+1 {
+		t.Fatalf("residency state %d entries, want %d (max block + 1)", got, tr.MaxBlock()+1)
+	}
+}
+
+// constSource is a fixed-size box source for tests.
+type constSource struct{ size int64 }
+
+func (c constSource) Next() int64 { return c.size }

@@ -10,19 +10,19 @@ import (
 // capacity — the other classical marking-free policy, included so the
 // DAM-validation experiments can show the usual LRU/FIFO/OPT ordering on
 // the repository's traces.
+//
+// The implementation is a circular ring of blocks in fetch order plus a
+// dense residency bitmap: a block is resident exactly while its (unique)
+// ring entry is live, so there is no stale-entry skipping and every
+// operation is O(1) with no steady-state allocation.
 type FIFO struct {
 	capacity int64
-	resident map[int64]uint64 // block -> fetch sequence number
-	queue    []fifoEntry      // fetch order; entries may be stale
-	head     int              // index of the oldest possibly-live entry
-	seq      uint64
+	resident []bool  // block -> currently cached
+	ring     []int64 // circular buffer of resident blocks in fetch order
+	ringHead int     // index of the oldest resident block
+	size     int     // live entries in the ring
 	misses   int64
 	hits     int64
-}
-
-type fifoEntry struct {
-	block int64
-	seq   uint64
 }
 
 // NewFIFO returns an empty FIFO cache with the given capacity (>= 1).
@@ -30,11 +30,11 @@ func NewFIFO(capacity int64) (*FIFO, error) {
 	if capacity < 1 {
 		return nil, fmt.Errorf("paging: FIFO capacity %d < 1", capacity)
 	}
-	return &FIFO{capacity: capacity, resident: make(map[int64]uint64)}, nil
+	return &FIFO{capacity: capacity}, nil
 }
 
 // Len reports the number of resident blocks.
-func (f *FIFO) Len() int64 { return int64(len(f.resident)) }
+func (f *FIFO) Len() int64 { return int64(f.size) }
 
 // Misses reports the number of accesses that required a fetch.
 func (f *FIFO) Misses() int64 { return f.misses }
@@ -48,47 +48,79 @@ func (f *FIFO) SetCapacity(capacity int64) error {
 		return fmt.Errorf("paging: FIFO capacity %d < 1", capacity)
 	}
 	f.capacity = capacity
-	for int64(len(f.resident)) > f.capacity {
+	for int64(f.size) > f.capacity {
 		f.evict()
 	}
 	return nil
 }
 
+// Reserve pre-sizes the residency bitmap for IDs up to maxBlock.
+func (f *FIFO) Reserve(maxBlock int64) { f.ensure(maxBlock) }
+
+// Clear evicts everything without resetting the hit/miss counters.
+func (f *FIFO) Clear() {
+	for f.size > 0 {
+		f.evict()
+	}
+}
+
 // Access touches block, returning true on a hit. FIFO does not reorder on
 // hits — that is the whole difference from LRU.
 func (f *FIFO) Access(block int64) bool {
-	if _, ok := f.resident[block]; ok {
+	f.ensure(block)
+	if f.resident[block] {
 		f.hits++
 		return true
 	}
 	f.misses++
-	if int64(len(f.resident)) >= f.capacity {
+	if int64(f.size) >= f.capacity {
 		f.evict()
 	}
-	f.seq++
-	f.resident[block] = f.seq
-	f.queue = append(f.queue, fifoEntry{block: block, seq: f.seq})
+	f.push(block)
+	f.resident[block] = true
 	return false
 }
 
-// evict removes the least recently *fetched* resident block, skipping
-// stale queue entries (a block evicted and later refetched leaves a dead
-// entry behind; the sequence number identifies the live one).
-func (f *FIFO) evict() {
-	for f.head < len(f.queue) {
-		e := f.queue[f.head]
-		f.head++
-		if cur, ok := f.resident[e.block]; ok && cur == e.seq {
-			delete(f.resident, e.block)
-			break
+func (f *FIFO) ensure(block int64) {
+	if block < int64(len(f.resident)) {
+		return
+	}
+	n := int64(len(f.resident)) * 2
+	if n <= block {
+		n = block + 1
+	}
+	grown := make([]bool, n)
+	copy(grown, f.resident)
+	f.resident = grown
+}
+
+// push appends block at the ring's tail, unwrapping into a larger buffer
+// when full (growth amortises geometrically).
+func (f *FIFO) push(block int64) {
+	if f.size == len(f.ring) {
+		n := 2 * len(f.ring)
+		if n < 4 {
+			n = 4
 		}
+		grown := make([]int64, n)
+		for i := 0; i < f.size; i++ {
+			grown[i] = f.ring[(f.ringHead+i)%len(f.ring)]
+		}
+		f.ring = grown
+		f.ringHead = 0
 	}
-	// Compact the dead prefix once it dominates, keeping memory linear in
-	// the number of resident blocks rather than total fetches.
-	if f.head > 4096 && f.head > len(f.queue)/2 {
-		f.queue = append(f.queue[:0:0], f.queue[f.head:]...)
-		f.head = 0
+	f.ring[(f.ringHead+f.size)%len(f.ring)] = block
+	f.size++
+}
+
+// evict removes the least recently fetched resident block.
+func (f *FIFO) evict() {
+	if f.size == 0 {
+		return
 	}
+	f.resident[f.ring[f.ringHead]] = false
+	f.ringHead = (f.ringHead + 1) % len(f.ring)
+	f.size--
 }
 
 // RunFIFOFixed replays tr through a FIFO of fixed capacity and returns the
@@ -98,6 +130,7 @@ func RunFIFOFixed(tr *trace.Trace, capacity int64) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	f.Reserve(tr.MaxBlock())
 	for i := 0; i < tr.Len(); i++ {
 		f.Access(tr.Block(i))
 	}

@@ -11,32 +11,37 @@ import (
 // cache-adaptive model requires. Shrinking the capacity immediately evicts
 // the least recently used overflow.
 //
-// The implementation is a classic map + intrusive doubly-linked list; all
-// operations are O(1).
+// The implementation is an intrusive doubly-linked list over a slice-backed
+// node pool, with a dense block→node index in place of a hash map: every
+// operation is O(1) with no per-access allocation and no pointer chasing
+// through heap-scattered nodes. The dense index assumes the compact block
+// universes our generators emit (IDs allocated contiguously from 0); memory
+// is O(max block ID seen), which for every trace in this repository is the
+// same as O(distinct blocks) up to a small constant.
 type LRU struct {
-	capacity int64
-	nodes    map[int64]*lruNode
-	head     *lruNode // most recently used
-	tail     *lruNode // least recently used
-	misses   int64
-	hits     int64
+	capacity   int64
+	slot       []int32 // block -> node index, nilNode when absent
+	blockOf    []int64 // node -> block
+	prev, next []int32 // intrusive recency list links
+	free       []int32 // recycled node indices
+	head, tail int32   // most / least recently used
+	size       int64
+	misses     int64
+	hits       int64
 }
 
-type lruNode struct {
-	block      int64
-	prev, next *lruNode
-}
+const nilNode = int32(-1)
 
 // NewLRU returns an empty LRU with the given capacity (>= 1).
 func NewLRU(capacity int64) (*LRU, error) {
 	if capacity < 1 {
 		return nil, fmt.Errorf("paging: LRU capacity %d < 1", capacity)
 	}
-	return &LRU{capacity: capacity, nodes: make(map[int64]*lruNode)}, nil
+	return &LRU{capacity: capacity, head: nilNode, tail: nilNode}, nil
 }
 
 // Len reports the number of resident blocks.
-func (l *LRU) Len() int64 { return int64(len(l.nodes)) }
+func (l *LRU) Len() int64 { return l.size }
 
 // Misses and Hits report the access counters.
 func (l *LRU) Misses() int64 { return l.misses }
@@ -53,78 +58,124 @@ func (l *LRU) SetCapacity(capacity int64) error {
 		return fmt.Errorf("paging: LRU capacity %d < 1", capacity)
 	}
 	l.capacity = capacity
-	for int64(len(l.nodes)) > l.capacity {
+	for l.size > l.capacity {
 		l.evict()
 	}
 	return nil
 }
 
+// Reserve pre-sizes the block index for IDs up to maxBlock, so the steady
+// state of a replay over a known universe performs no allocations at all.
+func (l *LRU) Reserve(maxBlock int64) { l.ensure(maxBlock) }
+
 // Clear empties the cache (the square-boundary convention) without
 // touching the counters.
 func (l *LRU) Clear() {
-	l.nodes = make(map[int64]*lruNode)
-	l.head, l.tail = nil, nil
+	for s := l.head; s != nilNode; {
+		nxt := l.next[s]
+		l.slot[l.blockOf[s]] = nilNode
+		l.free = append(l.free, s)
+		s = nxt
+	}
+	l.head, l.tail = nilNode, nilNode
+	l.size = 0
 }
 
 // Access touches block, returning true on a hit. On a miss the block is
 // fetched, evicting the LRU block if the cache is full.
 func (l *LRU) Access(block int64) bool {
-	if n, ok := l.nodes[block]; ok {
+	l.ensure(block)
+	if s := l.slot[block]; s != nilNode {
 		l.hits++
-		l.moveToFront(n)
+		l.moveToFront(s)
 		return true
 	}
 	l.misses++
-	if int64(len(l.nodes)) >= l.capacity {
+	if l.size >= l.capacity {
 		l.evict()
 	}
-	n := &lruNode{block: block}
-	l.nodes[block] = n
-	l.pushFront(n)
+	s := l.alloc(block)
+	l.slot[block] = s
+	l.pushFront(s)
+	l.size++
 	return false
 }
 
-func (l *LRU) pushFront(n *lruNode) {
-	n.prev = nil
-	n.next = l.head
-	if l.head != nil {
-		l.head.prev = n
-	}
-	l.head = n
-	if l.tail == nil {
-		l.tail = n
-	}
-}
-
-func (l *LRU) unlink(n *lruNode) {
-	if n.prev != nil {
-		n.prev.next = n.next
-	} else {
-		l.head = n.next
-	}
-	if n.next != nil {
-		n.next.prev = n.prev
-	} else {
-		l.tail = n.prev
-	}
-	n.prev, n.next = nil, nil
-}
-
-func (l *LRU) moveToFront(n *lruNode) {
-	if l.head == n {
+// ensure grows the dense index (geometrically, so growth cost amortises to
+// nothing) until block is a valid slot.
+func (l *LRU) ensure(block int64) {
+	if block < int64(len(l.slot)) {
 		return
 	}
-	l.unlink(n)
-	l.pushFront(n)
+	n := int64(len(l.slot)) * 2
+	if n <= block {
+		n = block + 1
+	}
+	grown := make([]int32, n)
+	copy(grown, l.slot)
+	for i := len(l.slot); i < len(grown); i++ {
+		grown[i] = nilNode
+	}
+	l.slot = grown
+}
+
+func (l *LRU) alloc(block int64) int32 {
+	if n := len(l.free); n > 0 {
+		s := l.free[n-1]
+		l.free = l.free[:n-1]
+		l.blockOf[s] = block
+		return s
+	}
+	s := int32(len(l.blockOf))
+	l.blockOf = append(l.blockOf, block)
+	l.prev = append(l.prev, nilNode)
+	l.next = append(l.next, nilNode)
+	return s
+}
+
+func (l *LRU) pushFront(s int32) {
+	l.prev[s] = nilNode
+	l.next[s] = l.head
+	if l.head != nilNode {
+		l.prev[l.head] = s
+	}
+	l.head = s
+	if l.tail == nilNode {
+		l.tail = s
+	}
+}
+
+func (l *LRU) unlink(s int32) {
+	if p := l.prev[s]; p != nilNode {
+		l.next[p] = l.next[s]
+	} else {
+		l.head = l.next[s]
+	}
+	if n := l.next[s]; n != nilNode {
+		l.prev[n] = l.prev[s]
+	} else {
+		l.tail = l.prev[s]
+	}
+	l.prev[s], l.next[s] = nilNode, nilNode
+}
+
+func (l *LRU) moveToFront(s int32) {
+	if l.head == s {
+		return
+	}
+	l.unlink(s)
+	l.pushFront(s)
 }
 
 func (l *LRU) evict() {
-	if l.tail == nil {
+	if l.tail == nilNode {
 		return
 	}
-	victim := l.tail
-	l.unlink(victim)
-	delete(l.nodes, victim.block)
+	v := l.tail
+	l.unlink(v)
+	l.slot[l.blockOf[v]] = nilNode
+	l.free = append(l.free, v)
+	l.size--
 }
 
 // RunLRUFixed replays tr through an LRU of fixed capacity and returns the
@@ -134,6 +185,7 @@ func RunLRUFixed(tr *trace.Trace, capacity int64) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	l.Reserve(tr.MaxBlock())
 	for i := 0; i < tr.Len(); i++ {
 		l.Access(tr.Block(i))
 	}
@@ -153,6 +205,7 @@ func RunLRUProfile(tr *trace.Trace, m []int64) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	l.Reserve(tr.MaxBlock())
 	for i := 0; i < tr.Len(); i++ {
 		if l.Access(tr.Block(i)) {
 			continue

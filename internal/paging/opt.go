@@ -1,7 +1,6 @@
 package paging
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/trace"
@@ -12,27 +11,62 @@ import (
 // DAM-validation experiment uses to confirm that LRU's constant factor on
 // our traces is benign (the classical 2-competitiveness with capacity
 // augmentation shows up clearly).
+//
+// Next-use positions are precomputed in a single backward pass over the
+// trace using a dense last-seen array, and the farthest-in-future choice is
+// a hand-rolled max-heap of packed uint64 keys (nextUse in the high 32
+// bits, block in the low 32) — no interface boxing, no per-entry
+// allocation. Stale heap entries are invalidated lazily: an entry is live
+// iff its nextUse matches the block's current one, which is unambiguous
+// because a block's successive next-use positions are distinct (the "never
+// used again" sentinel n appears at most once per block). Ties can
+// therefore only occur among never-used-again blocks, where the eviction
+// choice cannot change the miss count.
 
-// optEntry is a lazily-invalidated heap entry: block with its next use
-// position at the time of insertion.
-type optEntry struct {
-	block   int64
-	nextUse int
+// optNever marks "no further use"; as a next-use position it sorts after
+// every real index.
+const optNever = int32(-1)
+
+// optHeap is a max-heap of packed (nextUse<<32 | block) keys.
+type optHeap []uint64
+
+func (h *optHeap) push(x uint64) {
+	*h = append(*h, x)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p] >= s[i] {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
 }
 
-// optHeap is a max-heap on nextUse (farthest next use on top).
-type optHeap []optEntry
-
-func (h optHeap) Len() int            { return len(h) }
-func (h optHeap) Less(i, j int) bool  { return h[i].nextUse > h[j].nextUse }
-func (h optHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *optHeap) Push(x interface{}) { *h = append(*h, x.(optEntry)) }
-func (h *optHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h *optHeap) pop() uint64 {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r, big := 2*i+1, 2*i+2, i
+		if l < n && s[l] > s[big] {
+			big = l
+		}
+		if r < n && s[r] > s[big] {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		s[i], s[big] = s[big], s[i]
+		i = big
+	}
+	return top
 }
 
 // RunOPTFixed replays tr through Belady's optimal policy with a fixed
@@ -45,50 +79,65 @@ func RunOPTFixed(tr *trace.Trace, capacity int64) (int64, error) {
 	if n == 0 {
 		return 0, nil
 	}
-	const inf = int(^uint(0) >> 1)
-
-	// nextUse[i] = next position after i referencing the same block.
-	nextUse := make([]int, n)
-	last := make(map[int64]int, 1024)
-	for i := n - 1; i >= 0; i-- {
-		blk := tr.Block(i)
-		if j, ok := last[blk]; ok {
-			nextUse[i] = j
-		} else {
-			nextUse[i] = inf
-		}
-		last[blk] = i
+	if int64(n) >= 1<<31 || tr.MaxBlock() >= 1<<31 {
+		return 0, fmt.Errorf("paging: OPT index overflow (%d refs, max block %d)", n, tr.MaxBlock())
 	}
 
-	resident := make(map[int64]int, capacity) // block -> its current nextUse
-	h := &optHeap{}
-	var misses int64
+	// nextUse[i] = next position after i referencing the same block; n if
+	// the block is never referenced again.
+	nextUse := make([]int32, n)
+	last := make([]int32, tr.MaxBlock()+1)
+	for i := range last {
+		last[i] = optNever
+	}
+	for i := n - 1; i >= 0; i-- {
+		blk := tr.Block(i)
+		if j := last[blk]; j != optNever {
+			nextUse[i] = j
+		} else {
+			nextUse[i] = int32(n)
+		}
+		last[blk] = int32(i)
+	}
+
+	// curNext[b] = the live heap key's nextUse for resident block b, or
+	// optNever when b is absent.
+	curNext := last // reuse the backing array; every entry is rewritten below
+	for i := range curNext {
+		curNext[i] = optNever
+	}
+	var h optHeap
+	var size, misses int64
 	for i := 0; i < n; i++ {
 		blk := tr.Block(i)
-		if _, ok := resident[blk]; ok {
-			resident[blk] = nextUse[i]
-			heap.Push(h, optEntry{block: blk, nextUse: nextUse[i]})
+		nu := nextUse[i]
+		key := uint64(uint32(nu))<<32 | uint64(uint32(blk))
+		if curNext[blk] != optNever {
+			curNext[blk] = nu
+			h.push(key)
 			continue
 		}
 		misses++
-		if int64(len(resident)) >= capacity {
+		if size >= capacity {
 			// Evict the resident block with the farthest valid next use,
 			// skipping stale heap entries.
 			for {
-				if h.Len() == 0 {
-					return 0, fmt.Errorf("paging: OPT heap exhausted with %d resident", len(resident))
+				if len(h) == 0 {
+					return 0, fmt.Errorf("paging: OPT heap exhausted with %d resident", size)
 				}
-				top := heap.Pop(h).(optEntry)
-				cur, ok := resident[top.block]
-				if !ok || cur != top.nextUse {
+				top := h.pop()
+				b := int64(uint32(top))
+				if curNext[b] != int32(top>>32) {
 					continue // stale entry
 				}
-				delete(resident, top.block)
+				curNext[b] = optNever
+				size--
 				break
 			}
 		}
-		resident[blk] = nextUse[i]
-		heap.Push(h, optEntry{block: blk, nextUse: nextUse[i]})
+		curNext[blk] = nu
+		size++
+		h.push(key)
 	}
 	return misses, nil
 }

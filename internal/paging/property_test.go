@@ -47,11 +47,12 @@ func randomSchedule(src *xrand.Source, n int, maxCap int64) map[int]int64 {
 	return sched
 }
 
-// resident returns the cache's content set (test-only peek).
+// resident returns the cache's content set by walking the intrusive
+// recency list (test-only peek).
 func resident(l *LRU) map[int64]bool {
-	set := make(map[int64]bool, len(l.nodes))
-	for blk := range l.nodes {
-		set[blk] = true
+	set := make(map[int64]bool, l.size)
+	for s := l.head; s != nilNode; s = l.next[s] {
+		set[l.blockOf[s]] = true
 	}
 	return set
 }

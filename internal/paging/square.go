@@ -36,50 +36,15 @@ type BoxStat struct {
 // square semantics and returns per-box statistics. The run ends when the
 // trace is exhausted; the final box is typically partial. maxBoxes guards
 // against pathological stalls (0 = unbounded).
+//
+// It is a materialized-trace wrapper around SquareStream (stream.go); the
+// two paths share one implementation, so streamed runs are byte-identical
+// to materialized ones.
 func SquareRun(tr *trace.Trace, src profile.Source, maxBoxes int64) ([]BoxStat, error) {
-	if tr.Len() == 0 {
-		return nil, nil
-	}
-	// Epoch-stamped residency set: resident[b] == epoch means block b was
-	// fetched in the current box.
-	resident := make([]int64, tr.MaxBlock()+1)
-	for i := range resident {
-		resident[i] = -1
-	}
-	epoch := int64(0)
-
-	var stats []BoxStat
-	cur := BoxStat{Size: src.Next()}
-	if cur.Size < 1 {
-		return nil, fmt.Errorf("paging: box source produced size %d", cur.Size)
-	}
-
-	for i := 0; i < tr.Len(); i++ {
-		blk := tr.Block(i)
-		if resident[blk] != epoch {
-			// Miss: needs an I/O from the current box's budget.
-			if cur.IOs == cur.Size {
-				// Budget exhausted: this reference belongs to the next box.
-				stats = append(stats, cur)
-				if maxBoxes > 0 && int64(len(stats)) >= maxBoxes {
-					return stats, fmt.Errorf("paging: run exceeded %d boxes", maxBoxes)
-				}
-				epoch++
-				cur = BoxStat{Size: src.Next()}
-				if cur.Size < 1 {
-					return stats, fmt.Errorf("paging: box source produced size %d", cur.Size)
-				}
-			}
-			resident[blk] = epoch
-			cur.IOs++
-		}
-		cur.Refs++
-		if tr.EndsLeaf(i) {
-			cur.Leaves++
-		}
-	}
-	stats = append(stats, cur)
-	return stats, nil
+	q := NewSquareStream(src, maxBoxes)
+	q.Reserve(tr.MaxBlock())
+	trace.Replay(tr, q)
+	return q.Finish()
 }
 
 // SquareRunFrom replays the suffix of tr starting at reference startIdx
@@ -92,31 +57,13 @@ func SquareRunFrom(tr *trace.Trace, startIdx int, boxes []int64) (int, error) {
 	if startIdx < 0 || startIdx > tr.Len() {
 		return 0, fmt.Errorf("paging: start index %d out of range", startIdx)
 	}
-	resident := make(map[int64]struct{})
-	i := startIdx
-	for _, size := range boxes {
-		if size < 1 {
-			return 0, fmt.Errorf("paging: box size %d invalid", size)
-		}
-		// Fresh square: cache cleared.
-		clear(resident)
-		var ios int64
-		for i < tr.Len() {
-			blk := tr.Block(i)
-			if _, ok := resident[blk]; !ok {
-				if ios == size {
-					break // budget exhausted; reference goes to next box
-				}
-				resident[blk] = struct{}{}
-				ios++
-			}
-			i++
-		}
-		if i == tr.Len() {
-			return i, nil
-		}
+	f := NewSquareFinisher(boxes)
+	f.Reserve(tr.MaxBlock())
+	trace.ReplayRange(tr, f, startIdx, tr.Len())
+	if err := f.Err(); err != nil {
+		return 0, err
 	}
-	return i, nil
+	return startIdx + int(f.Served()), nil
 }
 
 // TotalLeaves sums leaf completions over box stats.

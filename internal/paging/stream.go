@@ -1,0 +1,266 @@
+package paging
+
+import (
+	"fmt"
+
+	"repro/internal/profile"
+	"repro/internal/trace"
+)
+
+// This file is the streaming half of the square-profile substrate: the
+// same CA-model semantics as SquareRun/SquareRunFrom, exposed as
+// trace.Sink consumers so generators can replay directly into them without
+// materializing the trace. SquareRun and SquareRunFrom (square.go) are
+// reimplemented as thin wrappers that trace.Replay into these sinks, so
+// the materialized and streaming paths share one implementation and cannot
+// drift — which is what keeps streamed experiment tables byte-identical to
+// materialized ones.
+
+// SquareStream consumes a reference stream under square semantics against
+// boxes drawn from a profile source. Feed it accesses (directly or via
+// trace.Replay), then call Finish for the per-box statistics. Memory is
+// O(max block ID), independent of stream length.
+type SquareStream struct {
+	src      profile.Source
+	maxBoxes int64
+	resident []int64 // epoch-stamped residency: resident[b] == epoch means cached
+	epoch    int64
+	stats    []BoxStat
+	cur      BoxStat
+	started  bool
+	err      error
+	markedAt int64 // cur.Refs total at the last EndLeaf (idempotency)
+	refs     int64 // total refs across all boxes, for markedAt
+}
+
+// NewSquareStream returns a stream drawing box sizes from src; maxBoxes
+// guards against pathological stalls (0 = unbounded).
+func NewSquareStream(src profile.Source, maxBoxes int64) *SquareStream {
+	return &SquareStream{src: src, maxBoxes: maxBoxes}
+}
+
+// Reserve pre-sizes the residency array for block IDs up to maxBlock.
+func (q *SquareStream) Reserve(maxBlock int64) { q.ensure(maxBlock) }
+
+// Access serves one block reference under square semantics: first touch of
+// a block within a box costs one I/O from the box budget; when the budget
+// is exhausted a new box starts with a cleared cache.
+func (q *SquareStream) Access(block int64) {
+	if q.err != nil {
+		return
+	}
+	if !q.started {
+		q.started = true
+		q.cur = BoxStat{Size: q.src.Next()}
+		if q.cur.Size < 1 {
+			q.err = fmt.Errorf("paging: box source produced size %d", q.cur.Size)
+			return
+		}
+	}
+	q.ensure(block)
+	if q.resident[block] != q.epoch {
+		// Miss: needs an I/O from the current box's budget.
+		if q.cur.IOs == q.cur.Size {
+			// Budget exhausted: this reference belongs to the next box.
+			q.stats = append(q.stats, q.cur)
+			if q.maxBoxes > 0 && int64(len(q.stats)) >= q.maxBoxes {
+				q.err = fmt.Errorf("paging: run exceeded %d boxes", q.maxBoxes)
+				q.started = false
+				return
+			}
+			q.epoch++
+			q.cur = BoxStat{Size: q.src.Next()}
+			if q.cur.Size < 1 {
+				q.err = fmt.Errorf("paging: box source produced size %d", q.cur.Size)
+				q.started = false
+				return
+			}
+		}
+		q.resident[block] = q.epoch
+		q.cur.IOs++
+	}
+	q.cur.Refs++
+	q.refs++
+}
+
+// AccessRange serves blocks [lo, lo+count) in order.
+func (q *SquareStream) AccessRange(lo, count int64) {
+	for i := int64(0); i < count; i++ {
+		q.Access(lo + i)
+	}
+}
+
+// EndLeaf credits a base-case completion to the box that served the most
+// recent access. Idempotent per access, matching trace.Builder.
+func (q *SquareStream) EndLeaf() {
+	if q.refs == 0 {
+		panic("paging: EndLeaf before any access")
+	}
+	if q.markedAt == q.refs {
+		return
+	}
+	q.markedAt = q.refs
+	q.cur.Leaves++
+}
+
+// Finish closes the final (typically partial) box and returns the per-box
+// statistics, or the first error the stream hit. An untouched stream
+// returns (nil, nil), matching SquareRun on an empty trace.
+func (q *SquareStream) Finish() ([]BoxStat, error) {
+	if q.err != nil {
+		return q.stats, q.err
+	}
+	if !q.started {
+		return nil, nil
+	}
+	q.started = false
+	q.stats = append(q.stats, q.cur)
+	return q.stats, nil
+}
+
+func (q *SquareStream) ensure(block int64) {
+	if block < int64(len(q.resident)) {
+		return
+	}
+	n := int64(len(q.resident)) * 2
+	if n <= block {
+		n = block + 1
+	}
+	grown := make([]int64, n)
+	copy(grown, q.resident)
+	for i := len(q.resident); i < len(grown); i++ {
+		grown[i] = -1
+	}
+	q.resident = grown
+}
+
+// SquareFinisher consumes a reference stream against a finite square
+// sequence and reports how many references the boxes served — the
+// streaming form of SquareRunFrom, and the primitive behind the
+// No-Catch-up Lemma check. Once the boxes are exhausted (or a box size is
+// invalid) the remaining stream is ignored.
+type SquareFinisher struct {
+	boxes    []int64
+	bi       int
+	resident []int64 // epoch-stamped, cleared per box via epoch bump
+	epoch    int64
+	ios      int64
+	served   int64
+	done     bool
+	err      error
+}
+
+// NewSquareFinisher returns a finisher over the given box sizes. The first
+// box is validated eagerly so an invalid leading box is reported even for
+// an empty stream, matching SquareRunFrom.
+func NewSquareFinisher(boxes []int64) *SquareFinisher {
+	f := &SquareFinisher{boxes: boxes}
+	if len(boxes) == 0 {
+		f.done = true
+	} else if boxes[0] < 1 {
+		f.err = fmt.Errorf("paging: box size %d invalid", boxes[0])
+	}
+	return f
+}
+
+// Reserve pre-sizes the residency array for block IDs up to maxBlock.
+func (f *SquareFinisher) Reserve(maxBlock int64) { f.ensure(maxBlock) }
+
+// Access serves one reference, advancing to the next box when the current
+// budget is exhausted. References after the last box ends are unserved.
+func (f *SquareFinisher) Access(block int64) {
+	if f.done || f.err != nil {
+		return
+	}
+	f.ensure(block)
+	if f.resident[block] == f.epoch {
+		f.served++
+		return
+	}
+	if f.ios == f.boxes[f.bi] {
+		// Budget exhausted: this reference belongs to the next box.
+		f.bi++
+		if f.bi >= len(f.boxes) {
+			f.done = true
+			return
+		}
+		if f.boxes[f.bi] < 1 {
+			f.err = fmt.Errorf("paging: box size %d invalid", f.boxes[f.bi])
+			return
+		}
+		// Fresh square: cache cleared.
+		f.epoch++
+		f.ios = 0
+	}
+	f.resident[block] = f.epoch
+	f.ios++
+	f.served++
+}
+
+// AccessRange serves blocks [lo, lo+count) in order.
+func (f *SquareFinisher) AccessRange(lo, count int64) {
+	for i := int64(0); i < count; i++ {
+		f.Access(lo + i)
+	}
+}
+
+// EndLeaf is a no-op: the finisher measures progress in references served,
+// not base cases.
+func (f *SquareFinisher) EndLeaf() {}
+
+// Served reports how many stream references the boxes served so far.
+func (f *SquareFinisher) Served() int64 { return f.served }
+
+// Done reports whether the boxes are exhausted (further accesses ignored).
+func (f *SquareFinisher) Done() bool { return f.done }
+
+// Err reports the first invalid-box error, if any.
+func (f *SquareFinisher) Err() error { return f.err }
+
+func (f *SquareFinisher) ensure(block int64) {
+	if block < int64(len(f.resident)) {
+		return
+	}
+	n := int64(len(f.resident)) * 2
+	if n <= block {
+		n = block + 1
+	}
+	grown := make([]int64, n)
+	copy(grown, f.resident)
+	for i := len(f.resident); i < len(grown); i++ {
+		grown[i] = -1
+	}
+	f.resident = grown
+}
+
+var (
+	_ trace.Sink = (*SquareStream)(nil)
+	_ trace.Sink = (*SquareFinisher)(nil)
+)
+
+// cacheAccessor is the shared surface of the policy caches (LRU, FIFO).
+type cacheAccessor interface {
+	Access(block int64) bool
+}
+
+// CacheSink adapts a policy cache into a trace.Sink so generators can
+// stream straight into an LRU or FIFO replay (leaf markers are ignored —
+// DAM-model replays measure I/Os, not progress).
+type CacheSink struct {
+	Cache cacheAccessor
+}
+
+// Access forwards the reference to the cache, discarding the hit flag.
+func (s CacheSink) Access(block int64) { s.Cache.Access(block) }
+
+// AccessRange forwards blocks [lo, lo+count) in order.
+func (s CacheSink) AccessRange(lo, count int64) {
+	for i := int64(0); i < count; i++ {
+		s.Cache.Access(lo + i)
+	}
+}
+
+// EndLeaf is ignored.
+func (s CacheSink) EndLeaf() {}
+
+var _ trace.Sink = CacheSink{}

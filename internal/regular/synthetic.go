@@ -23,11 +23,8 @@ import (
 // size m (the Θ(n) distinct-blocks property of Definition 2), and its
 // length equals Spec.IOCost(n).
 func SyntheticTrace(spec Spec, n int64) (*trace.Trace, error) {
-	if _, err := NewSpec(spec.A, spec.B, spec.C); err != nil {
+	if err := validateSynthetic(spec, n); err != nil {
 		return nil, err
-	}
-	if !spec.ValidSize(n) {
-		return nil, fmt.Errorf("regular: problem size %d is not a power of b = %d", n, spec.B)
 	}
 	if cost := spec.IOCost(n); cost > 1<<28 {
 		return nil, fmt.Errorf("regular: synthetic trace for n = %d would have %.3g references; too large", n, cost)
@@ -37,18 +34,41 @@ func SyntheticTrace(spec Spec, n int64) (*trace.Trace, error) {
 	return b.Build(), nil
 }
 
-func emitSynthetic(b *trace.Builder, spec Spec, m, off int64) {
+// EmitSynthetic streams the canonical trace into s without materializing
+// it. Unlike SyntheticTrace it has no reference-count ceiling: the
+// consumer's memory is bounded by its own state (O(n) for the paging
+// sinks), not by the trace length, so problem sizes whose materialized
+// trace would not fit in memory stream fine.
+func EmitSynthetic(spec Spec, n int64, s trace.Sink) error {
+	if err := validateSynthetic(spec, n); err != nil {
+		return err
+	}
+	emitSynthetic(s, spec, n, 0)
+	return nil
+}
+
+func validateSynthetic(spec Spec, n int64) error {
+	if _, err := NewSpec(spec.A, spec.B, spec.C); err != nil {
+		return err
+	}
+	if !spec.ValidSize(n) {
+		return fmt.Errorf("regular: problem size %d is not a power of b = %d", n, spec.B)
+	}
+	return nil
+}
+
+func emitSynthetic(s trace.Sink, spec Spec, m, off int64) {
 	if m == 1 {
-		b.Access(off)
-		b.EndLeaf()
+		s.Access(off)
+		s.EndLeaf()
 		return
 	}
 	child := m / spec.B
 	for i := int64(0); i < spec.A; i++ {
 		slot := i % spec.B
-		emitSynthetic(b, spec, child, off+slot*child)
+		emitSynthetic(s, spec, child, off+slot*child)
 	}
-	b.AccessRange(off, spec.ScanLen(m))
+	s.AccessRange(off, spec.ScanLen(m))
 }
 
 // SyntheticTraceShuffled is SyntheticTrace with the a subproblems of every
@@ -58,11 +78,8 @@ func emitSynthetic(b *trace.Builder, spec Spec, m, off int64) {
 // (slot = original index mod b), so only the execution order is
 // randomised, exactly as a randomised divide-and-conquer would behave.
 func SyntheticTraceShuffled(spec Spec, n int64, rng *xrand.Source) (*trace.Trace, error) {
-	if _, err := NewSpec(spec.A, spec.B, spec.C); err != nil {
+	if err := validateSynthetic(spec, n); err != nil {
 		return nil, err
-	}
-	if !spec.ValidSize(n) {
-		return nil, fmt.Errorf("regular: problem size %d is not a power of b = %d", n, spec.B)
 	}
 	if cost := spec.IOCost(n); cost > 1<<28 {
 		return nil, fmt.Errorf("regular: synthetic trace for n = %d would have %.3g references; too large", n, cost)
@@ -72,17 +89,27 @@ func SyntheticTraceShuffled(spec Spec, n int64, rng *xrand.Source) (*trace.Trace
 	return b.Build(), nil
 }
 
-func emitSyntheticShuffled(b *trace.Builder, spec Spec, m, off int64, rng *xrand.Source) {
+// EmitSyntheticShuffled streams the shuffled canonical trace into s, with
+// no reference-count ceiling (see EmitSynthetic).
+func EmitSyntheticShuffled(spec Spec, n int64, rng *xrand.Source, s trace.Sink) error {
+	if err := validateSynthetic(spec, n); err != nil {
+		return err
+	}
+	emitSyntheticShuffled(s, spec, n, 0, rng)
+	return nil
+}
+
+func emitSyntheticShuffled(s trace.Sink, spec Spec, m, off int64, rng *xrand.Source) {
 	if m == 1 {
-		b.Access(off)
-		b.EndLeaf()
+		s.Access(off)
+		s.EndLeaf()
 		return
 	}
 	child := m / spec.B
 	order := rng.Perm(int(spec.A))
 	for _, i := range order {
 		slot := int64(i) % spec.B
-		emitSyntheticShuffled(b, spec, child, off+slot*child, rng)
+		emitSyntheticShuffled(s, spec, child, off+slot*child, rng)
 	}
-	b.AccessRange(off, spec.ScanLen(m))
+	s.AccessRange(off, spec.ScanLen(m))
 }

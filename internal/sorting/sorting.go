@@ -84,19 +84,29 @@ const sortBaseLen = 8
 // [off, off+m) touches its ⌈m/B⌉ array blocks and, when merging, the
 // matching buffer blocks — the (2,2,1) shape in blocks.
 func TraceMergeSort(n int, blockWords int64) (*trace.Trace, error) {
+	b := &trace.Builder{}
+	if err := EmitMergeSort(n, blockWords, b); err != nil {
+		return nil, err
+	}
+	return b.Build(), nil
+}
+
+// EmitMergeSort streams the merge-sort trace into s without materializing
+// it.
+func EmitMergeSort(n int, blockWords int64, s trace.Sink) error {
 	if n < sortBaseLen || n&(n-1) != 0 {
-		return nil, fmt.Errorf("sorting: traced sort needs power-of-two length >= %d, got %d", sortBaseLen, n)
+		return fmt.Errorf("sorting: traced sort needs power-of-two length >= %d, got %d", sortBaseLen, n)
 	}
 	if blockWords < 1 {
-		return nil, fmt.Errorf("sorting: block size %d < 1", blockWords)
+		return fmt.Errorf("sorting: block size %d < 1", blockWords)
 	}
-	g := &sortTraceGen{b: &trace.Builder{}, bw: blockWords, bufBase: int64(n)}
+	g := &sortTraceGen{s: s, bw: blockWords, bufBase: int64(n)}
 	g.rec(0, int64(n))
-	return g.b.Build(), nil
+	return nil
 }
 
 type sortTraceGen struct {
-	b       *trace.Builder
+	s       trace.Sink
 	bw      int64
 	bufBase int64
 }
@@ -104,15 +114,13 @@ type sortTraceGen struct {
 func (g *sortTraceGen) touch(off, words int64) {
 	first := off / g.bw
 	last := (off + words - 1) / g.bw
-	for blk := first; blk <= last; blk++ {
-		g.b.Access(blk)
-	}
+	g.s.AccessRange(first, last-first+1)
 }
 
 func (g *sortTraceGen) rec(off, m int64) {
 	if m <= sortBaseLen {
 		g.touch(off, m)
-		g.b.EndLeaf()
+		g.s.EndLeaf()
 		return
 	}
 	h := m / 2

@@ -12,6 +12,10 @@
 // case of the generating algorithm's recursion ("leaf markers"), because
 // the paper's progress measure counts base cases completed within each
 // memory-profile box.
+//
+// Generators emit through the Sink interface (sink.go); Builder is the
+// materializing Sink, and the streaming kernels in internal/paging consume
+// the same stream without storing it.
 package trace
 
 import (
@@ -19,10 +23,12 @@ import (
 )
 
 // Trace is an immutable sequence of block references with leaf-completion
-// markers.
+// markers. Markers are stored as a packed bitset — one bit per access —
+// so the materialized path costs 8 bytes + 1 bit per reference rather
+// than 8 + 8.
 type Trace struct {
 	blocks   []int64
-	endsLeaf []bool
+	leafBits []uint64
 	maxBlock int64
 	leaves   int64
 }
@@ -30,7 +36,7 @@ type Trace struct {
 // Builder accumulates a trace. The zero value is ready to use.
 type Builder struct {
 	blocks   []int64
-	endsLeaf []bool
+	leafBits []uint64
 	maxBlock int64
 	leaves   int64
 }
@@ -40,8 +46,10 @@ func (b *Builder) Access(block int64) {
 	if block < 0 {
 		panic(fmt.Sprintf("trace: negative block %d", block))
 	}
+	if len(b.blocks)&63 == 0 {
+		b.leafBits = append(b.leafBits, 0)
+	}
 	b.blocks = append(b.blocks, block)
-	b.endsLeaf = append(b.endsLeaf, false)
 	if block > b.maxBlock {
 		b.maxBlock = block
 	}
@@ -60,8 +68,9 @@ func (b *Builder) EndLeaf() {
 	if len(b.blocks) == 0 {
 		panic("trace: EndLeaf before any access")
 	}
-	if !b.endsLeaf[len(b.endsLeaf)-1] {
-		b.endsLeaf[len(b.endsLeaf)-1] = true
+	i := len(b.blocks) - 1
+	if b.leafBits[i>>6]&(1<<(uint(i)&63)) == 0 {
+		b.leafBits[i>>6] |= 1 << (uint(i) & 63)
 		b.leaves++
 	}
 }
@@ -72,8 +81,8 @@ func (b *Builder) Len() int { return len(b.blocks) }
 // Build freezes the builder into a Trace. The builder must not be used
 // afterwards.
 func (b *Builder) Build() *Trace {
-	t := &Trace{blocks: b.blocks, endsLeaf: b.endsLeaf, maxBlock: b.maxBlock, leaves: b.leaves}
-	b.blocks, b.endsLeaf = nil, nil
+	t := &Trace{blocks: b.blocks, leafBits: b.leafBits, maxBlock: b.maxBlock, leaves: b.leaves}
+	b.blocks, b.leafBits = nil, nil
 	return t
 }
 
@@ -83,8 +92,19 @@ func (t *Trace) Len() int { return len(t.blocks) }
 // Block returns the block referenced at position i.
 func (t *Trace) Block(i int) int64 { return t.blocks[i] }
 
+// leafAt reads the packed leaf bit for position i without the bounds
+// checks EndsLeaf inherits from the blocks slice access.
+func (t *Trace) leafAt(i int) bool {
+	return t.leafBits[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
 // EndsLeaf reports whether the access at position i completes a base case.
-func (t *Trace) EndsLeaf(i int) bool { return t.endsLeaf[i] }
+func (t *Trace) EndsLeaf(i int) bool {
+	if i < 0 || i >= len(t.blocks) {
+		panic(fmt.Sprintf("trace: EndsLeaf index %d out of range [0,%d)", i, len(t.blocks)))
+	}
+	return t.leafAt(i)
+}
 
 // MaxBlock returns the largest block ID referenced (0 for empty traces).
 func (t *Trace) MaxBlock() int64 { return t.maxBlock }
@@ -114,12 +134,7 @@ func (t *Trace) Slice(lo, hi int) (*Trace, error) {
 		return nil, fmt.Errorf("trace: slice [%d,%d) out of range [0,%d)", lo, hi, len(t.blocks))
 	}
 	b := &Builder{}
-	for i := lo; i < hi; i++ {
-		b.Access(t.blocks[i])
-		if t.endsLeaf[i] {
-			b.EndLeaf()
-		}
-	}
+	ReplayRange(t, b, lo, hi)
 	return b.Build(), nil
 }
 

@@ -42,7 +42,7 @@ echo "== go test -race (service + paging properties) =="
 go test -race -short \
     ./internal/service/ \
     ./internal/paging/ \
-    -run 'TestService|TestCache|TestLRU|TestOPT|TestHitsPlusMisses|TestShrink|TestClient'
+    -run 'TestService|TestCache|TestLRU|TestFIFO|TestOPT|TestHitsPlusMisses|TestShrink|TestClient'
 
 echo "== go test -race (fault injection) =="
 go test -race -short ./internal/fault/
@@ -60,6 +60,13 @@ go test -race -short \
     ./internal/sharedcache/ \
     ./internal/smoothing/
 
+echo "== bench smoke =="
+# One iteration of every benchmark so the bench harness can't bit-rot:
+# this compiles and executes each bench body (including the paging
+# kernel-vs-oracle replay benches and the streaming-pipeline benches)
+# without measuring anything.
+go test -run=NONE -bench=. -benchtime=1x ./...
+
 echo "== fuzz smoke =="
 # Five seconds per fuzz target: enough to exercise the mutator on the
 # checked-in corpora without stalling CI. -run '^$' skips the unit tests
@@ -67,5 +74,6 @@ echo "== fuzz smoke =="
 go test -run '^$' -fuzz '^FuzzParseID$' -fuzztime 5s ./internal/core/
 go test -run '^$' -fuzz '^FuzzReadTSV$' -fuzztime 5s ./internal/profile/
 go test -run '^$' -fuzz '^FuzzParseIgnoreDirective$' -fuzztime 5s ./internal/lint/
+go test -run '^$' -fuzz '^FuzzKernelsMatchOracles$' -fuzztime 5s ./internal/paging/
 
 echo "CI OK"
