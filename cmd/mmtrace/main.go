@@ -7,11 +7,18 @@
 //	mmtrace -alg inplace -dim 128 -lru 256              # DAM misses at fixed M
 //	mmtrace -alg scan -dim 128 -worstcase -reps 16      # multiplies under Fig-1 profile
 //	mmtrace -alg scan -dim 1024 -stream -worstcase      # same, streaming (no materialized trace)
+//	mmtrace -alg scan -dim 1024 -worstcase -workers 4   # sharded square-partitioned replay
 //
 // With -stream the trace is regenerated into each consumer instead of
 // being built once in memory, so sizes whose materialized trace would not
 // fit stream fine (the -opt replay is the one consumer that inherently
 // needs the full trace and refuses -stream).
+//
+// -workers bounds the engine pool the -worstcase and -profile replays
+// shard onto (square-partitioned replay, DESIGN.md): the replay splits at
+// square boundaries, each shard re-streams its slice against a profile
+// source forked at its starting box, and the merged result is identical
+// to the serial replay at any worker count.
 //
 // This is the substrate behind experiments E9 and E11.
 package main
@@ -22,6 +29,7 @@ import (
 	"os"
 
 	"repro/internal/dp"
+	"repro/internal/engine"
 	"repro/internal/gep"
 	"repro/internal/matrix"
 	"repro/internal/paging"
@@ -74,8 +82,10 @@ func run() error {
 		reps      = flag.Int("reps", 16, "repetitions for -worstcase")
 		profPath  = flag.String("profile", "", "replay the trace against a TSV square profile (e.g. from profilegen)")
 		stream    = flag.Bool("stream", false, "stream the trace into each consumer instead of materializing it")
+		workers   = flag.Int("workers", 0, "worker bound for parallel square-partitioned replay (-worstcase, -profile); <1 = all cores, 1 = serial")
 	)
 	flag.Parse()
+	engine.SetSharedWorkers(*workers)
 
 	var emit func(trace.Sink) error
 	switch *alg {
@@ -166,15 +176,32 @@ func run() error {
 		did = true
 	}
 	if *worstcase {
-		var wc *profile.SquareProfile
-		var err error
+		// The matrix algorithms stream their worst-case profile (dim-4096
+		// scale profiles are never materialized); the others materialize the
+		// profile and stream it through a cycling source. Either way the
+		// source is forkable, so the replay shards across squares on the
+		// engine pool when workers allow — output is identical to the serial
+		// replay at any worker count.
+		var (
+			boxSrc   profile.ForkableSource
+			nBoxes   int64
+			duration int64
+			err      error
+		)
 		switch *alg {
 		case "scan", "inplace", "strassen":
-			wc, err = matrix.WorstCaseProfile(*dim, *block)
-		case "fwscan", "fwinplace":
-			wc, err = gep.WorstCaseProfile(*dim, *block)
-		case "mergesort":
-			wc, err = sorting.WorstCaseProfile(*dim, *block)
+			boxSrc, nBoxes, duration, err = matrix.WorstCaseBoxStream(*dim, *block)
+		case "fwscan", "fwinplace", "mergesort":
+			var wc *profile.SquareProfile
+			if *alg == "mergesort" {
+				wc, err = sorting.WorstCaseProfile(*dim, *block)
+			} else {
+				wc, err = gep.WorstCaseProfile(*dim, *block)
+			}
+			if err == nil {
+				nBoxes, duration = int64(wc.Len()), wc.Duration()
+				boxSrc, err = profile.NewSliceSource(wc)
+			}
 		default:
 			return fmt.Errorf("-worstcase has no matched profile for %q", *alg)
 		}
@@ -185,22 +212,17 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		f := paging.NewSquareFinisher(wc.Boxes())
+		var served int64
 		if tr != nil {
-			trace.ReplayRepeat(tr, f, *reps, maxBlock+1)
+			served, err = paging.ServedRepeatParallel(tr, boxSrc, nBoxes, *reps, maxBlock+1, 0)
 		} else {
-			stride := maxBlock + 1
-			for r := 0; r < *reps; r++ {
-				if err := emit(trace.OffsetSink{S: f, Shift: int64(r) * stride}); err != nil {
-					return err
-				}
-			}
+			served, err = paging.ServedEmitRepeatParallel(emit, refs, maxBlock, boxSrc, nBoxes, *reps, maxBlock+1, 0)
 		}
-		if err := f.Err(); err != nil {
+		if err != nil {
 			return err
 		}
 		fmt.Printf("worst-case profile: %d boxes, %d I/Os; %s completed %d multiplies\n",
-			wc.Len(), wc.Duration(), *alg, f.Served()/refs)
+			nBoxes, duration, *alg, served/refs)
 		did = true
 	}
 	if *profPath != "" {
@@ -220,14 +242,16 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		q := paging.NewSquareStream(src, 0)
+		var st []paging.BoxStat
 		if tr != nil {
-			q.Reserve(tr.MaxBlock())
-			trace.Replay(tr, q)
-		} else if err := emit(q); err != nil {
-			return err
+			st, err = paging.SquareRunParallel(tr, src, 0, 0)
+		} else {
+			refs, _, maxBlock, merr := measure()
+			if merr != nil {
+				return merr
+			}
+			st, err = paging.SquareEmitParallel(emit, refs, maxBlock, src, 0, 0)
 		}
-		st, err := q.Finish()
 		if err != nil {
 			return err
 		}

@@ -83,10 +83,25 @@ func (c Config) Validate() error {
 		// The slope-fit experiments sweep k = 3..MaxK and need >= 2 sizes.
 		return &ConfigError{Field: "MaxK", Msg: fmt.Sprintf("maxK %d < 4 (experiments fit slopes over k = 3..maxK and need at least two sizes)", c.MaxK)}
 	}
-	if c.MaxK > 9 {
-		return &ConfigError{Field: "MaxK", Msg: fmt.Sprintf("maxK %d > 9 (worst-case profiles above 4^9 do not fit in memory)", c.MaxK)}
+	if c.MaxK > 10 {
+		// The streamed experiments (E9 and friends) pull their profiles from
+		// limit streams and scale to 4^10; everything that materializes a
+		// worst-case profile clamps itself to k <= 9 via clampMaterializedK.
+		return &ConfigError{Field: "MaxK", Msg: fmt.Sprintf("maxK %d > 10 (only the streamed experiments scale past 4^9, and nothing is gated above 4^10)", c.MaxK)}
 	}
 	return nil
+}
+
+// clampMaterializedK caps MaxK for experiments that materialize worst-case
+// profiles or traces: above k = 9 those structures do not fit in memory, so
+// such runners take the k <= 9 prefix of the sweep instead of failing. The
+// streamed experiments (which pull boxes from limit streams) ignore this and
+// honour MaxK up to the Validate cap of 10.
+func clampMaterializedK(cfg Config) Config {
+	if cfg.MaxK > 9 {
+		cfg.MaxK = 9
+	}
+	return cfg
 }
 
 // Metrics records how an experiment executed on the engine. It is

@@ -46,6 +46,7 @@ func init() {
 }
 
 func runA1(cfg Config) (*Table, error) {
+	cfg = clampMaterializedK(cfg)
 	spec := regular.MMScanSpec
 	t := &Table{
 		ID:     "A1",
@@ -246,6 +247,7 @@ func maxf(a, b float64) float64 {
 }
 
 func runA3(cfg Config) (*Table, error) {
+	cfg = clampMaterializedK(cfg)
 	t := &Table{
 		ID:     "A3",
 		Title:  "Scan-exponent sweep: trace-backed gap of (8,4,c) on M_{8,4}(n)",

@@ -61,6 +61,7 @@ func spreadAdversary(spec regular.Spec, n int64) (*profile.SquareProfile, error)
 }
 
 func runA6(cfg Config) (*Table, error) {
+	cfg = clampMaterializedK(cfg)
 	spec := regular.MMScanSpec
 	t := &Table{
 		ID:     "A6",

@@ -87,6 +87,7 @@ func worstCases(kMin, kMax int) (map[int]*profile.SquareProfile, error) {
 }
 
 func runE3(cfg Config) (*Table, error) {
+	cfg = clampMaterializedK(cfg)
 	spec := regular.MMScanSpec
 	nMax := profile.Pow(4, cfg.MaxK)
 
@@ -216,6 +217,7 @@ func runE3(cfg Config) (*Table, error) {
 }
 
 func runE6(cfg Config) (*Table, error) {
+	cfg = clampMaterializedK(cfg)
 	spec := regular.MMScanSpec
 	t := &Table{
 		ID:     "E6",
@@ -305,6 +307,7 @@ func runE6(cfg Config) (*Table, error) {
 }
 
 func runE7(cfg Config) (*Table, error) {
+	cfg = clampMaterializedK(cfg)
 	spec := regular.MMScanSpec
 	t := &Table{
 		ID:     "E7",
@@ -368,6 +371,7 @@ func runE7(cfg Config) (*Table, error) {
 }
 
 func runE8(cfg Config) (*Table, error) {
+	cfg = clampMaterializedK(cfg)
 	spec := regular.MMScanSpec
 	t := &Table{
 		ID:     "E8",

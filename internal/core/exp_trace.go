@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/engine"
 	"repro/internal/matrix"
 	"repro/internal/paging"
 	"repro/internal/stats"
@@ -48,52 +49,58 @@ func runE9(cfg Config) (*Table, error) {
 		dims = append(dims, 512)
 	}
 	if cfg.MaxK >= 8 {
-		// Only reachable above the seed config: the streaming-repeat path
-		// keeps memory at one base trace, so this rung costs MBs where the
-		// old materialized repeat would have needed ~12 GB.
+		// Only reachable above the seed config: nothing on this path is
+		// materialized — traces are re-emitted per repetition and the
+		// worst-case profile is streamed — so these rungs cost MBs where a
+		// materialized repeat would have needed ~12 GB (dim 1024) to well
+		// past a TB (dim 4096). dim 4096's profile alone would be ~1.4e8
+		// boxes materialized; the odometer stream keeps it O(log dim).
 		dims = append(dims, 1024)
+	}
+	if cfg.MaxK >= 9 {
+		dims = append(dims, 2048)
+	}
+	if cfg.MaxK >= 10 {
+		dims = append(dims, 4096)
 	}
 	var lastScan, lastInp int
 	firstInp := 0
 	for i, dim := range dims {
-		wc, err := matrix.WorstCaseProfile(dim, bw)
+		boxSrc, nBoxes, duration, err := matrix.WorstCaseBoxStream(dim, bw)
 		if err != nil {
 			return nil, err
 		}
-		boxes := wc.Boxes()
 		// Enough repetitions to comfortably exceed the profile's capacity for
 		// both algorithms at every size. The repetitions are streamed into
 		// the square finisher with fresh address ranges per rep (the
-		// RepeatTraceFresh semantics), never materialized.
+		// RepeatTraceFresh semantics), never materialized; with idle engine
+		// workers the replay runs as square-partitioned shards, with output
+		// identical to the serial replay by construction.
 		reps := 12
 		if dim >= 1024 {
 			reps = 16
 		}
-		count := func(tr *trace.Trace) (int, error) {
-			f := paging.NewSquareFinisher(boxes)
-			trace.ReplayRepeat(tr, f, reps, tr.MaxBlock()+1)
-			if err := f.Err(); err != nil {
+		count := func(emit func(trace.Sink) error) (int, error) {
+			c := &trace.CountingSink{}
+			if err := emit(c); err != nil {
 				return 0, err
 			}
-			return int(f.Served()) / tr.Len(), nil
+			served, err := paging.ServedEmitRepeatParallel(emit, c.Refs, c.MaxBlock,
+				boxSrc, nBoxes, reps, c.MaxBlock+1, paging.DefaultShards())
+			if err != nil {
+				return 0, err
+			}
+			return int(served / c.Refs), nil
 		}
-		scanTr, err := matrix.TraceMulScan(dim, bw)
+		scanCount, err := count(func(s trace.Sink) error { return matrix.EmitMulScan(dim, bw, s) })
 		if err != nil {
 			return nil, err
 		}
-		inpTr, err := matrix.TraceMulInPlace(dim, bw)
+		inpCount, err := count(func(s trace.Sink) error { return matrix.EmitMulInPlace(dim, bw, s) })
 		if err != nil {
 			return nil, err
 		}
-		scanCount, err := count(scanTr)
-		if err != nil {
-			return nil, err
-		}
-		inpCount, err := count(inpTr)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(dim, dim*dim, wc.Len(), wc.Duration(), scanCount, inpCount)
+		t.AddRow(dim, dim*dim, nBoxes, duration, scanCount, inpCount)
 		lastScan, lastInp = scanCount, inpCount
 		if i == 0 {
 			firstInp = inpCount
@@ -106,8 +113,18 @@ func runE9(cfg Config) (*Table, error) {
 func runE10(cfg Config) (*Table, error) {
 	rng := xrand.New(cfg.Seed ^ 0x10)
 	trials := cfg.Trials * 100
-	violations := 0
-	for trial := 0; trial < trials; trial++ {
+	// Derive every trial's inputs serially — the RNG call order is part of
+	// the determinism contract — then evaluate the trials on the engine
+	// pool. Each start-pair replay halts at the finisher's served boundary
+	// (the Stopper early stop), so a trial costs O(references served), not
+	// O(trace suffix).
+	type e10Trial struct {
+		tr        *trace.Trace
+		boxes     []int64
+		i, iPrime int
+	}
+	ts := make([]e10Trial, trials)
+	for trial := range ts {
 		refs := 20 + rng.Intn(1500)
 		b := &trace.Builder{}
 		for i := 0; i < refs; i++ {
@@ -121,15 +138,28 @@ func runE10(cfg Config) (*Table, error) {
 		}
 		i := rng.Intn(refs)
 		iPrime := rng.Intn(i + 1)
-		endLate, err := paging.SquareRunFrom(tr, i, boxes)
+		ts[trial] = e10Trial{tr: tr, boxes: boxes, i: i, iPrime: iPrime}
+	}
+	violated := make([]bool, trials)
+	g := engine.NewGroup()
+	if err := g.Map(trials, func(trial, _ int) error {
+		tl := ts[trial]
+		endLate, err := paging.SquareRunFrom(tl.tr, tl.i, tl.boxes)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		endEarly, err := paging.SquareRunFrom(tr, iPrime, boxes)
+		endEarly, err := paging.SquareRunFrom(tl.tr, tl.iPrime, tl.boxes)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if endEarly > endLate {
+		violated[trial] = endEarly > endLate
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	violations := 0
+	for _, v := range violated {
+		if v {
 			violations++
 		}
 	}

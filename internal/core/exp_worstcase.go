@@ -29,6 +29,7 @@ func init() {
 }
 
 func runE1(cfg Config) (*Table, error) {
+	cfg = clampMaterializedK(cfg)
 	t := &Table{
 		ID:     "E1",
 		Title:  "Worst-case profile M_{8,4}(n): the Figure-1 construction",
@@ -65,6 +66,7 @@ type e2Case struct {
 }
 
 func runE2(cfg Config) (*Table, error) {
+	cfg = clampMaterializedK(cfg)
 	cases := []e2Case{
 		{"(8,4,1) MM-Scan", regular.MMScanSpec, 8, 4, false},
 		{"(7,4,1) Strassen-shaped", regular.StrassenSpec, 7, 4, false},

@@ -54,6 +54,15 @@ func New(workers int) *Pool {
 // Workers returns the pool's concurrency bound (including the caller).
 func (p *Pool) Workers() int { return p.workers }
 
+// Idle returns the number of worker tokens currently free, i.e. how many
+// helpers a Map started now could recruit. The value is advisory — tokens
+// move concurrently — but it is exactly the signal an optional
+// parallelization (parallel square replay inside an experiment cell) needs:
+// zero idle tokens means a sharded run would degrade to serial execution
+// while still paying its planning pass, so the caller should take the plain
+// serial path instead. Output never depends on the answer, only wall time.
+func (p *Pool) Idle() int { return len(p.tokens) }
+
 var (
 	sharedMu sync.Mutex
 	shared   *Pool

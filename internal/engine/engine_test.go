@@ -410,3 +410,38 @@ func TestMapNilContextNeverCancels(t *testing.T) {
 		t.Errorf("ran %d cells, want 64", ran.Load())
 	}
 }
+
+func TestIdleReportsFreeTokens(t *testing.T) {
+	p := New(4)
+	if got := p.Idle(); got != 3 {
+		t.Fatalf("fresh 4-worker pool Idle() = %d, want 3 (workers minus the caller)", got)
+	}
+	if got := New(1).Idle(); got != 0 {
+		t.Fatalf("single-worker pool Idle() = %d, want 0", got)
+	}
+	// Hold every token in long-running cells: a Map started now could
+	// recruit no helpers, and Idle must say so.
+	release := make(chan struct{})
+	started := make(chan struct{}, 4)
+	done := make(chan error, 1)
+	go func() {
+		done <- p.Group().Map(4, func(int, int) error {
+			started <- struct{}{}
+			<-release
+			return nil
+		})
+	}()
+	for i := 0; i < 4; i++ {
+		<-started
+	}
+	if got := p.Idle(); got != 0 {
+		t.Fatalf("saturated pool Idle() = %d, want 0", got)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Idle(); got != 3 {
+		t.Fatalf("drained pool Idle() = %d, want 3", got)
+	}
+}

@@ -30,12 +30,15 @@ func EmitMulStrassen(dim int, blockWords int64, s trace.Sink) error {
 		return err
 	}
 	d := int64(dim)
-	g := &traceGen{s: s, blockWords: blockWords, allocTop: 3 * d * d}
+	g := newTraceGen(s, blockWords, 3*d*d)
 	g.strassen(2*d*d, 0, d*d, d)
 	return nil
 }
 
 func (g *traceGen) strassen(cOff, aOff, bOff, d int64) {
+	if g.st != nil && g.st.Stopped() {
+		return
+	}
 	if d <= traceBaseDim {
 		g.leafProduct(cOff, aOff, bOff, d)
 		return

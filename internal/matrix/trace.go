@@ -25,10 +25,25 @@ import (
 // traceGen carries trace-generation state. It emits into any trace.Sink,
 // so the same recursion can materialize a Trace (Builder sink) or stream
 // straight into a paging kernel in bounded memory.
+//
+// When the sink implements trace.Stopper the deterministic recursions
+// (mulScan, mulInPlace, strassen) abandon emission at subproblem
+// granularity once the sink stops consuming; the emitted prefix is
+// unchanged, so a stopper-aware sink sees the same stream as a plain one.
+// The shuffled variant deliberately never stops early: cutting its
+// recursion short would change how much of the caller's RNG stream it
+// consumes, and reproducibility of that stream is part of its contract.
 type traceGen struct {
 	s          trace.Sink
-	blockWords int64 // B: words per block
-	allocTop   int64 // stack allocator watermark (in words)
+	st         trace.Stopper // optional early-stop surface of s (nil if none)
+	blockWords int64         // B: words per block
+	allocTop   int64         // stack allocator watermark (in words)
+}
+
+// newTraceGen wires a generator to s, capturing its optional Stopper.
+func newTraceGen(s trace.Sink, blockWords, allocTop int64) *traceGen {
+	st, _ := s.(trace.Stopper)
+	return &traceGen{s: s, st: st, blockWords: blockWords, allocTop: allocTop}
 }
 
 // touchRegion references every block of the d²-word region at word offset
@@ -73,7 +88,7 @@ func EmitMulScan(dim int, blockWords int64, s trace.Sink) error {
 		return err
 	}
 	d := int64(dim)
-	g := &traceGen{s: s, blockWords: blockWords, allocTop: 3 * d * d}
+	g := newTraceGen(s, blockWords, 3*d*d)
 	g.mulScan(2*d*d, 0, d*d, d)
 	return nil
 }
@@ -88,6 +103,9 @@ func (g *traceGen) leafProduct(cOff, aOff, bOff, d int64) {
 }
 
 func (g *traceGen) mulScan(cOff, aOff, bOff, d int64) {
+	if g.st != nil && g.st.Stopped() {
+		return
+	}
 	if d <= traceBaseDim {
 		g.leafProduct(cOff, aOff, bOff, d)
 		return
@@ -190,12 +208,15 @@ func EmitMulInPlace(dim int, blockWords int64, s trace.Sink) error {
 		return err
 	}
 	d := int64(dim)
-	g := &traceGen{s: s, blockWords: blockWords}
+	g := newTraceGen(s, blockWords, 0)
 	g.mulInPlace(2*d*d, 0, d*d, d)
 	return nil
 }
 
 func (g *traceGen) mulInPlace(cOff, aOff, bOff, d int64) {
+	if g.st != nil && g.st.Stopped() {
+		return
+	}
 	if d <= traceBaseDim {
 		g.leafProduct(cOff, aOff, bOff, d)
 		return
@@ -238,6 +259,36 @@ func WorstCaseProfile(dim int, blockWords int64) (*profile.SquareProfile, error)
 	}
 	build(int64(dim))
 	return profile.New(boxes)
+}
+
+// WorstCaseBoxStream is the streaming form of WorstCaseProfile: it returns
+// a forkable box source whose first `count` boxes are exactly
+// WorstCaseProfile(dim, blockWords).Boxes(), plus that count and the
+// profile's total duration (Σ box sizes), both computed in closed form. The
+// profile is never materialised — the recursive structure is an 8-ary
+// odometer (a leaf box per base case, one level-j merge-scan box after
+// every 8^j-th leaf) — so dim-4096-class profiles, whose materialised box
+// slice alone would cost gigabytes, stream in O(log dim) memory and can be
+// forked at any box for square-partitioned parallel replay.
+func WorstCaseBoxStream(dim int, blockWords int64) (src profile.ForkableSource, count, duration int64, err error) {
+	if err := validateTraceArgs(dim, blockWords); err != nil {
+		return nil, 0, 0, err
+	}
+	leaf := 3 * ((traceBaseDim*traceBaseDim + blockWords - 1) / blockWords)
+	closer := func(level int) int64 {
+		d := traceBaseDim << level
+		return 3 * d * d / blockWords
+	}
+	o, err := profile.NewOdometerSource(8, leaf, closer)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	count, duration = 1, leaf
+	for d := traceBaseDim * 2; d <= int64(dim); d *= 2 {
+		count = 8*count + 1
+		duration = 8*duration + 3*d*d/blockWords
+	}
+	return o, count, duration, nil
 }
 
 // RepeatTrace concatenates reps copies of tr. Block IDs are reused

@@ -1,0 +1,544 @@
+package paging
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/profile"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// cycling returns a forkable source cycling over boxes. BoxesSource does
+// not validate sizes, which also lets error-parity tests inject invalid
+// boxes into the forkable path.
+func cycling(t *testing.T, boxes []int64) profile.ForkableSource {
+	t.Helper()
+	src, err := profile.NewBoxesSource(boxes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+// cycleBoxes materializes the first n boxes of the cycled sequence, for
+// serial SquareFinisher baselines.
+func cycleBoxes(boxes []int64, n int64) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = boxes[i%len(boxes)]
+	}
+	return out
+}
+
+var shardCounts = []int{1, 2, 3, 5, 8, 16}
+
+// --- SquareRunParallel ------------------------------------------------------
+
+func TestSquareRunParallelMatchesSerialAtAnyShardCount(t *testing.T) {
+	rng := xrand.New(0x5a1)
+	for trial := 0; trial < 30; trial++ {
+		tr := randomTrace(rng, 50+rng.Intn(2000), 1+rng.Int63n(64))
+		boxes := make([]int64, 1+rng.Intn(6))
+		for i := range boxes {
+			boxes[i] = 1 + rng.Int63n(20)
+		}
+		want, err := SquareRun(tr, cycling(t, boxes), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range shardCounts {
+			got, err := SquareRunParallel(tr, cycling(t, boxes), 0, shards)
+			if err != nil {
+				t.Fatalf("trial %d shards %d: %v", trial, shards, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d shards %d: parallel ledger diverges\ngot  %+v\nwant %+v", trial, shards, got, want)
+			}
+		}
+	}
+}
+
+func TestSquareRunParallelAtWorkerCounts(t *testing.T) {
+	// The promise the experiments lean on: output depends on nothing but
+	// the inputs, at any -workers setting (shards = DefaultShards()).
+	defer engine.SetSharedWorkers(0)
+	rng := xrand.New(0x5a2)
+	tr := randomTrace(rng, 5000, 48)
+	boxes := []int64{7, 3, 12, 1, 9}
+	want, err := SquareRun(tr, cycling(t, boxes), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		engine.SetSharedWorkers(workers)
+		got, err := SquareRunParallel(tr, cycling(t, boxes), 0, 0)
+		if err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers %d: parallel ledger diverges", workers)
+		}
+	}
+}
+
+func TestSquareRunParallelNonForkableFallsBack(t *testing.T) {
+	rng := xrand.New(0x5a3)
+	tr := randomTrace(rng, 400, 32)
+	boxes := []int64{5, 2, 8}
+	want, err := SquareRun(tr, cycling(t, boxes), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	fn := profile.FuncSource(func() int64 { b := boxes[i%len(boxes)]; i++; return b })
+	got, err := SquareRunParallel(tr, fn, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("FuncSource path diverges from serial")
+	}
+}
+
+func TestSquareRunParallelErrorParityMaxBoxes(t *testing.T) {
+	rng := xrand.New(0x5a4)
+	tr := randomTrace(rng, 3000, 64)
+	boxes := []int64{3, 1, 2}
+	wantStats, wantErr := SquareRun(tr, cycling(t, boxes), 5)
+	if wantErr == nil {
+		t.Fatal("test needs a maxBoxes-exceeded run")
+	}
+	for _, shards := range []int{2, 8} {
+		gotStats, gotErr := SquareRunParallel(tr, cycling(t, boxes), 5, shards)
+		if gotErr == nil || gotErr.Error() != wantErr.Error() {
+			t.Fatalf("shards %d: error = %v, want %v", shards, gotErr, wantErr)
+		}
+		if !reflect.DeepEqual(gotStats, wantStats) {
+			t.Fatalf("shards %d: partial stats diverge on the error path", shards)
+		}
+	}
+}
+
+func TestSquareRunParallelErrorParityBadBox(t *testing.T) {
+	// An invalid size mid-sequence must surface the same error and partial
+	// ledger as the serial kernel; the planner hits it and falls back.
+	rng := xrand.New(0x5a5)
+	tr := randomTrace(rng, 3000, 64)
+	boxes := []int64{4, 7, 0}
+	wantStats, wantErr := SquareRun(tr, cycling(t, boxes), 0)
+	if wantErr == nil {
+		t.Fatal("test needs an invalid-box run")
+	}
+	for _, shards := range []int{2, 8} {
+		gotStats, gotErr := SquareRunParallel(tr, cycling(t, boxes), 0, shards)
+		if gotErr == nil || gotErr.Error() != wantErr.Error() {
+			t.Fatalf("shards %d: error = %v, want %v", shards, gotErr, wantErr)
+		}
+		if !reflect.DeepEqual(gotStats, wantStats) {
+			t.Fatalf("shards %d: partial stats diverge on the error path", shards)
+		}
+	}
+}
+
+// --- SquareEmitParallel -----------------------------------------------------
+
+func TestSquareEmitParallelMatchesSerial(t *testing.T) {
+	rng := xrand.New(0x5b1)
+	for trial := 0; trial < 20; trial++ {
+		tr := randomTrace(rng, 50+rng.Intn(3000), 1+rng.Int63n(80))
+		boxes := make([]int64, 1+rng.Intn(5))
+		for i := range boxes {
+			boxes[i] = 1 + rng.Int63n(16)
+		}
+		emit := func(s trace.Sink) error {
+			trace.Replay(tr, s)
+			return nil
+		}
+		want, err := SquareRun(tr, cycling(t, boxes), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range shardCounts {
+			got, err := SquareEmitParallel(emit, int64(tr.Len()), tr.MaxBlock(), cycling(t, boxes), 0, shards)
+			if err != nil {
+				t.Fatalf("trial %d shards %d: %v", trial, shards, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d shards %d: emitted ledger diverges", trial, shards)
+			}
+		}
+	}
+}
+
+func TestSquareEmitParallelLeafAttribution(t *testing.T) {
+	// Leaf markers landing exactly on shard boundaries must be credited to
+	// the box that served the marked access, as in the serial stream.
+	// Every reference ends a leaf, so any misattribution shifts a count.
+	b := &trace.Builder{}
+	for i := 0; i < 500; i++ {
+		b.Access(int64(i % 10))
+		b.EndLeaf()
+	}
+	tr := b.Build()
+	emit := func(s trace.Sink) error {
+		trace.Replay(tr, s)
+		return nil
+	}
+	boxes := []int64{3, 5}
+	want, err := SquareRun(tr, cycling(t, boxes), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range shardCounts {
+		got, err := SquareEmitParallel(emit, int64(tr.Len()), tr.MaxBlock(), cycling(t, boxes), 0, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("shards %d: leaf attribution diverges", shards)
+		}
+	}
+}
+
+func TestSquareEmitParallelTotalRefsIsAdvisory(t *testing.T) {
+	// A wrong totalRefs may unbalance shards but must not change output.
+	rng := xrand.New(0x5b2)
+	tr := randomTrace(rng, 1200, 40)
+	boxes := []int64{6, 2}
+	emit := func(s trace.Sink) error {
+		trace.Replay(tr, s)
+		return nil
+	}
+	want, err := SquareRun(tr, cycling(t, boxes), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, totalRefs := range []int64{2, 100, 10_000_000} {
+		got, err := SquareEmitParallel(emit, totalRefs, tr.MaxBlock(), cycling(t, boxes), 0, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("totalRefs %d: ledger diverges", totalRefs)
+		}
+	}
+}
+
+// --- ServedRepeatParallel ---------------------------------------------------
+
+func TestServedRepeatParallelMatchesSerial(t *testing.T) {
+	rng := xrand.New(0x5c1)
+	for trial := 0; trial < 20; trial++ {
+		tr := randomTrace(rng, 30+rng.Intn(800), 1+rng.Int63n(48))
+		boxes := make([]int64, 1+rng.Intn(4))
+		for i := range boxes {
+			boxes[i] = 1 + rng.Int63n(12)
+		}
+		nBoxes := 1 + rng.Int63n(200)
+		reps := 1 + rng.Intn(6)
+		stride := tr.MaxBlock() + 1
+
+		f := NewSquareFinisher(cycleBoxes(boxes, nBoxes))
+		f.Reserve(tr.MaxBlock())
+		trace.ReplayRepeat(tr, f, reps, stride)
+		if err := f.Err(); err != nil {
+			t.Fatal(err)
+		}
+		want := f.Served()
+
+		for _, shards := range shardCounts {
+			got, err := ServedRepeatParallel(tr, cycling(t, boxes), nBoxes, reps, stride, shards)
+			if err != nil {
+				t.Fatalf("trial %d shards %d: %v", trial, shards, err)
+			}
+			if got != want {
+				t.Fatalf("trial %d shards %d: served %d, want %d", trial, shards, got, want)
+			}
+		}
+	}
+}
+
+func TestServedRepeatParallelSmallStrideFallsBack(t *testing.T) {
+	// stride <= maxBlock means repetitions overlap in address space; the
+	// compact planner is invalid there and the call must fall back to the
+	// serial replay with the same answer.
+	rng := xrand.New(0x5c2)
+	tr := randomTrace(rng, 600, 48)
+	boxes := []int64{5, 9}
+	nBoxes, reps := int64(80), 4
+	for _, stride := range []int64{0, 1, tr.MaxBlock()} {
+		f := NewSquareFinisher(cycleBoxes(boxes, nBoxes))
+		f.Reserve(tr.MaxBlock())
+		trace.ReplayRepeat(tr, f, reps, stride)
+		want := f.Served()
+		got, err := ServedRepeatParallel(tr, cycling(t, boxes), nBoxes, reps, stride, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("stride %d: served %d, want %d", stride, got, want)
+		}
+	}
+}
+
+func TestServedEmitRepeatParallelMatchesSerial(t *testing.T) {
+	rng := xrand.New(0x5d1)
+	for trial := 0; trial < 20; trial++ {
+		tr := randomTrace(rng, 30+rng.Intn(800), 1+rng.Int63n(48))
+		boxes := make([]int64, 1+rng.Intn(4))
+		for i := range boxes {
+			boxes[i] = 1 + rng.Int63n(12)
+		}
+		nBoxes := 1 + rng.Int63n(200)
+		reps := 1 + rng.Intn(6)
+		stride := tr.MaxBlock() + 1
+		emit := func(s trace.Sink) error {
+			trace.Replay(tr, s)
+			return nil
+		}
+
+		f := NewSquareFinisher(cycleBoxes(boxes, nBoxes))
+		f.Reserve(tr.MaxBlock())
+		trace.ReplayRepeat(tr, f, reps, stride)
+		if err := f.Err(); err != nil {
+			t.Fatal(err)
+		}
+		want := f.Served()
+
+		for _, shards := range shardCounts {
+			got, err := ServedEmitRepeatParallel(emit, int64(tr.Len()), tr.MaxBlock(), cycling(t, boxes), nBoxes, reps, stride, shards)
+			if err != nil {
+				t.Fatalf("trial %d shards %d: %v", trial, shards, err)
+			}
+			if got != want {
+				t.Fatalf("trial %d shards %d: served %d, want %d", trial, shards, got, want)
+			}
+		}
+	}
+}
+
+// --- srcFinisher ------------------------------------------------------------
+
+func TestSrcFinisherMatchesSquareFinisher(t *testing.T) {
+	rng := xrand.New(0x5e1)
+	for trial := 0; trial < 40; trial++ {
+		tr := randomTrace(rng, 20+rng.Intn(600), 1+rng.Int63n(32))
+		boxes := make([]int64, 1+rng.Intn(5))
+		for i := range boxes {
+			boxes[i] = 1 + rng.Int63n(10)
+		}
+		nBoxes := 1 + rng.Int63n(60)
+		mat := NewSquareFinisher(cycleBoxes(boxes, nBoxes))
+		mat.Reserve(tr.MaxBlock())
+		str := newSrcFinisher(cycling(t, boxes), nBoxes)
+		str.Reserve(tr.MaxBlock())
+		trace.ReplayRepeat(tr, mat, 3, tr.MaxBlock()+1)
+		trace.ReplayRepeat(tr, str, 3, tr.MaxBlock()+1)
+		if str.Served() != mat.Served() || str.Stopped() != mat.Stopped() {
+			t.Fatalf("trial %d: srcFinisher (served %d, stopped %v) != SquareFinisher (served %d, stopped %v)",
+				trial, str.Served(), str.Stopped(), mat.Served(), mat.Stopped())
+		}
+	}
+}
+
+func TestSrcFinisherErrorParity(t *testing.T) {
+	// Invalid boxes, eagerly on the first box and lazily mid-stream.
+	for _, boxes := range [][]int64{{0}, {3, -1}} {
+		tr := buildTrace([]int64{0, 1, 2, 3, 4, 5}, nil)
+		mat := NewSquareFinisher(cycleBoxes(boxes, int64(len(boxes))))
+		str := newSrcFinisher(cycling(t, boxes), int64(len(boxes)))
+		trace.Replay(tr, mat)
+		trace.Replay(tr, str)
+		if (mat.Err() == nil) != (str.Err() == nil) {
+			t.Fatalf("boxes %v: error presence diverges: %v vs %v", boxes, mat.Err(), str.Err())
+		}
+		if mat.Err() != nil && mat.Err().Error() != str.Err().Error() {
+			t.Fatalf("boxes %v: error text diverges: %q vs %q", boxes, mat.Err(), str.Err())
+		}
+		if mat.Served() != str.Served() {
+			t.Fatalf("boxes %v: served diverges: %d vs %d", boxes, mat.Served(), str.Served())
+		}
+	}
+}
+
+// --- EndLeaf after error (regression) ---------------------------------------
+
+func TestSquareStreamEndLeafAfterInvalidBoxDoesNotPanic(t *testing.T) {
+	// A generator emits Access then EndLeaf; if the access was rejected
+	// (invalid first box), the marker has no box to credit and must be
+	// ignored, not panic with "EndLeaf before any access".
+	q := NewSquareStream(profile.FuncSource(func() int64 { return 0 }), 0)
+	q.Access(1)
+	q.EndLeaf() // must not panic
+	if _, err := q.Finish(); err == nil {
+		t.Fatal("expected invalid-box error")
+	}
+}
+
+func TestSquareStreamEndLeafAfterMaxBoxesDoesNotMutateClosedBox(t *testing.T) {
+	// maxBoxes trips when box 2 would open; the EndLeaf for the rejected
+	// access must neither panic nor retroactively credit box 1's ledger.
+	src, err := profile.NewBoxesSource([]int64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewSquareStream(src, 1)
+	q.Access(0)
+	q.EndLeaf()
+	q.Access(1) // needs a second box: exceeds maxBoxes
+	q.EndLeaf() // must not panic, must not touch the closed box
+	stats, err := q.Finish()
+	if err == nil {
+		t.Fatal("expected maxBoxes error")
+	}
+	if len(stats) != 1 || stats[0].Leaves != 1 {
+		t.Fatalf("closed box mutated after error: %+v", stats)
+	}
+}
+
+func TestSquareStreamEndLeafBeforeAccessStillPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EndLeaf before any access on a healthy stream must panic")
+		}
+	}()
+	src, _ := profile.NewBoxesSource([]int64{4})
+	NewSquareStream(src, 0).EndLeaf()
+}
+
+// --- Early stop (regression) ------------------------------------------------
+
+// countingFinisher counts how many accesses a replay actually delivers to
+// the wrapped finisher, delegating the Stopper signal.
+type countingFinisher struct {
+	*SquareFinisher
+	delivered int
+}
+
+func (c *countingFinisher) Access(block int64) {
+	c.delivered++
+	c.SquareFinisher.Access(block)
+}
+
+func (c *countingFinisher) AccessRange(lo, count int64) {
+	for i := int64(0); i < count; i++ {
+		c.Access(lo + i)
+	}
+}
+
+func TestReplayRangeHaltsAtFinisherBoundary(t *testing.T) {
+	// 100k-reference trace, boxes that serve ~3 references: the replay
+	// must stop within a ref or two of the boundary instead of streaming
+	// the whole suffix into a finisher that ignores it.
+	b := &trace.Builder{}
+	for i := 0; i < 100_000; i++ {
+		b.Access(int64(i))
+	}
+	tr := b.Build()
+	f := &countingFinisher{SquareFinisher: NewSquareFinisher([]int64{3})}
+	trace.ReplayRange(tr, f, 0, tr.Len())
+	if !f.Done() {
+		t.Fatal("finisher should have exhausted its boxes")
+	}
+	if f.delivered > int(f.Served())+2 {
+		t.Fatalf("replay delivered %d references past a boundary at %d", f.delivered, f.Served())
+	}
+}
+
+func TestReplayRepeatHaltsAtFinisherBoundary(t *testing.T) {
+	b := &trace.Builder{}
+	for i := 0; i < 1000; i++ {
+		b.Access(int64(i))
+	}
+	tr := b.Build()
+	f := &countingFinisher{SquareFinisher: NewSquareFinisher([]int64{5})}
+	trace.ReplayRepeat(tr, f, 50, tr.MaxBlock()+1)
+	if f.delivered > int(f.Served())+2 {
+		t.Fatalf("repeat replay delivered %d references past a boundary at %d", f.delivered, f.Served())
+	}
+}
+
+// --- DefaultShards ----------------------------------------------------------
+
+func TestDefaultShardsStaysSerialWithoutIdleWorkers(t *testing.T) {
+	defer engine.SetSharedWorkers(0)
+	engine.SetSharedWorkers(1)
+	if got := DefaultShards(); got != 1 {
+		t.Fatalf("DefaultShards() on a single-worker pool = %d, want 1", got)
+	}
+	engine.SetSharedWorkers(4)
+	if got := DefaultShards(); got != 8 {
+		t.Fatalf("DefaultShards() on an idle 4-worker pool = %d, want 8", got)
+	}
+}
+
+// --- Fuzz -------------------------------------------------------------------
+
+// FuzzParallelMatchesSerial drives random traces and cycled box profiles
+// through both parallel replay families at a fuzzed shard count and
+// demands bit-identical results against the serial kernels. The corpus
+// inputs parameterize deterministic generators, so every failure replays
+// exactly.
+func FuzzParallelMatchesSerial(f *testing.F) {
+	f.Add(uint64(1), 100, int64(8), int64(5), 3, int64(40), 2)
+	f.Add(uint64(2), 2000, int64(64), int64(17), 8, int64(9), 5)
+	f.Add(uint64(3), 17, int64(1), int64(1), 16, int64(1), 1)
+	f.Fuzz(func(t *testing.T, seed uint64, refs int, blockRange, maxBox int64, shards int, nBoxes int64, reps int) {
+		if refs < 1 || refs > 5000 || blockRange < 1 || blockRange > 512 ||
+			maxBox < 1 || maxBox > 64 || shards < 1 || shards > 32 ||
+			nBoxes < 1 || nBoxes > 500 || reps < 1 || reps > 8 {
+			t.Skip()
+		}
+		rng := xrand.New(seed)
+		tr := randomTrace(rng, refs, blockRange)
+		boxes := make([]int64, 1+rng.Intn(6))
+		for i := range boxes {
+			boxes[i] = 1 + rng.Int63n(maxBox)
+		}
+		srcOf := func() profile.ForkableSource {
+			s, err := profile.NewBoxesSource(boxes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}
+
+		wantStats, wantErr := SquareRun(tr, srcOf(), 0)
+		gotStats, gotErr := SquareRunParallel(tr, srcOf(), 0, shards)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("SquareRunParallel error mismatch: %v vs %v", gotErr, wantErr)
+		}
+		if !reflect.DeepEqual(gotStats, wantStats) {
+			t.Fatalf("SquareRunParallel(shards=%d) ledger diverges from SquareRun", shards)
+		}
+
+		stride := tr.MaxBlock() + 1
+		fin := NewSquareFinisher(cycleBoxes(boxes, nBoxes))
+		fin.Reserve(tr.MaxBlock())
+		trace.ReplayRepeat(tr, fin, reps, stride)
+		if err := fin.Err(); err != nil {
+			t.Fatal(err)
+		}
+		served, err := ServedRepeatParallel(tr, srcOf(), nBoxes, reps, stride, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if served != fin.Served() {
+			t.Fatalf("ServedRepeatParallel(shards=%d) = %d, want %d", shards, served, fin.Served())
+		}
+
+		emit := func(s trace.Sink) error {
+			trace.Replay(tr, s)
+			return nil
+		}
+		served, err = ServedEmitRepeatParallel(emit, int64(tr.Len()), tr.MaxBlock(), srcOf(), nBoxes, reps, stride, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if served != fin.Served() {
+			t.Fatalf("ServedEmitRepeatParallel(shards=%d) = %d, want %d", shards, served, fin.Served())
+		}
+	})
+}

@@ -91,8 +91,17 @@ func (q *SquareStream) AccessRange(lo, count int64) {
 }
 
 // EndLeaf credits a base-case completion to the box that served the most
-// recent access. Idempotent per access, matching trace.Builder.
+// recent access. Idempotent per access, matching trace.Builder. Once the
+// stream has errored it is a no-op: the access the marker belongs to was
+// never served (Access returns before counting references on the error
+// paths), so there is no box to credit — panicking here would blame the
+// generator for a profile/guard error, and crediting would mutate a stale
+// box. The panic is reserved for the genuine structural bug of a marker
+// before any access on a healthy stream.
 func (q *SquareStream) EndLeaf() {
+	if q.err != nil {
+		return
+	}
 	if q.refs == 0 {
 		panic("paging: EndLeaf before any access")
 	}
@@ -102,6 +111,10 @@ func (q *SquareStream) EndLeaf() {
 	q.markedAt = q.refs
 	q.cur.Leaves++
 }
+
+// Stopped reports whether the stream has errored, so stopper-aware replays
+// and generators stop feeding a stream that discards everything anyway.
+func (q *SquareStream) Stopped() bool { return q.err != nil }
 
 // Finish closes the final (typically partial) box and returns the per-box
 // statistics, or the first error the stream hit. An untouched stream
@@ -214,6 +227,13 @@ func (f *SquareFinisher) Served() int64 { return f.served }
 // Done reports whether the boxes are exhausted (further accesses ignored).
 func (f *SquareFinisher) Done() bool { return f.done }
 
+// Stopped reports whether further accesses would be ignored — the boxes ran
+// out or a box size was invalid. Replay/ReplayRange/ReplayRepeat halt at
+// this boundary instead of streaming the rest of the trace into a finisher
+// that discards it, which turns the No-Catch-up sweep from quadratic into
+// O(refs actually served) per start index.
+func (f *SquareFinisher) Stopped() bool { return f.done || f.err != nil }
+
 // Err reports the first invalid-box error, if any.
 func (f *SquareFinisher) Err() error { return f.err }
 
@@ -234,8 +254,10 @@ func (f *SquareFinisher) ensure(block int64) {
 }
 
 var (
-	_ trace.Sink = (*SquareStream)(nil)
-	_ trace.Sink = (*SquareFinisher)(nil)
+	_ trace.Sink    = (*SquareStream)(nil)
+	_ trace.Sink    = (*SquareFinisher)(nil)
+	_ trace.Stopper = (*SquareStream)(nil)
+	_ trace.Stopper = (*SquareFinisher)(nil)
 )
 
 // cacheAccessor is the shared surface of the policy caches (LRU, FIFO).

@@ -38,7 +38,10 @@ func SyntheticTrace(spec Spec, n int64) (*trace.Trace, error) {
 // it. Unlike SyntheticTrace it has no reference-count ceiling: the
 // consumer's memory is bounded by its own state (O(n) for the paging
 // sinks), not by the trace length, so problem sizes whose materialized
-// trace would not fit in memory stream fine.
+// trace would not fit in memory stream fine. If s implements trace.Stopper
+// the emission is abandoned at subproblem granularity once s stops
+// consuming — the prefix emitted before the stop is unchanged, so a
+// stopper-aware sink sees exactly the same stream as a plain one.
 func EmitSynthetic(spec Spec, n int64, s trace.Sink) error {
 	if err := validateSynthetic(spec, n); err != nil {
 		return err
@@ -58,6 +61,14 @@ func validateSynthetic(spec Spec, n int64) error {
 }
 
 func emitSynthetic(s trace.Sink, spec Spec, m, off int64) {
+	st, _ := s.(trace.Stopper)
+	emitSyntheticRec(s, st, spec, m, off)
+}
+
+func emitSyntheticRec(s trace.Sink, st trace.Stopper, spec Spec, m, off int64) {
+	if st != nil && st.Stopped() {
+		return
+	}
 	if m == 1 {
 		s.Access(off)
 		s.EndLeaf()
@@ -66,7 +77,7 @@ func emitSynthetic(s trace.Sink, spec Spec, m, off int64) {
 	child := m / spec.B
 	for i := int64(0); i < spec.A; i++ {
 		slot := i % spec.B
-		emitSynthetic(s, spec, child, off+slot*child)
+		emitSyntheticRec(s, st, spec, child, off+slot*child)
 	}
 	s.AccessRange(off, spec.ScanLen(m))
 }

@@ -46,6 +46,16 @@ func (o OffsetSink) AccessRange(lo, count int64) { o.S.AccessRange(lo+o.Shift, c
 // EndLeaf forwards the leaf marker unchanged.
 func (o OffsetSink) EndLeaf() { o.S.EndLeaf() }
 
+// Stopped delegates to the wrapped sink's Stopper surface (false when the
+// wrapped sink has none), so generators handed a shifted sink still see the
+// underlying consumer's early-stop signal.
+func (o OffsetSink) Stopped() bool {
+	if st, ok := o.S.(Stopper); ok {
+		return st.Stopped()
+	}
+	return false
+}
+
 // CountingSink tallies the stream without storing it: reference and leaf
 // counts plus the largest block seen. A full-size workload can be
 // measured in O(1) memory (mmtrace -stream -stats uses it).
@@ -89,19 +99,61 @@ func (c *CountingSink) EndLeaf() {
 	c.Leaves++
 }
 
+// Stopper is the optional early-stop half of a Sink. A sink that has
+// consumed all the stream it will ever serve (a finite square sequence that
+// ran out of boxes, a windowed shard that passed its upper bound, a stream
+// that hit an error) reports Stopped() == true, and the replay loops below
+// halt instead of pushing the rest of the stream into a sink that ignores
+// it. Generators may honor it too (regular.EmitSynthetic does); a sink
+// without the method is simply replayed to the end, exactly as before.
+type Stopper interface {
+	// Stopped reports that every further emission would be ignored.
+	Stopped() bool
+}
+
+// stopperOf extracts the optional Stopper surface of s, unwrapping the
+// OffsetSink adapter so that shifted replays (ReplayRepeat) still stop when
+// the underlying consumer is done.
+func stopperOf(s Sink) Stopper {
+	for {
+		if o, ok := s.(OffsetSink); ok {
+			s = o.S
+			continue
+		}
+		st, _ := s.(Stopper)
+		return st
+	}
+}
+
 // Replay emits a materialized trace into s, reproducing the exact access
 // and leaf sequence the trace was built from. It bridges the two halves of
-// the pipeline: anything materialized can feed any streaming consumer.
+// the pipeline: anything materialized can feed any streaming consumer. If s
+// implements Stopper, the replay halts as soon as Stopped reports true.
 func Replay(tr *Trace, s Sink) {
 	ReplayRange(tr, s, 0, tr.Len())
 }
 
 // ReplayRange emits the subsequence [lo, hi) of tr into s. Leaf markers
 // inside the range are preserved. It panics on an out-of-range window (a
-// caller bug, matching the slice convention).
+// caller bug, matching the slice convention). If s implements Stopper, the
+// replay halts at the first index where Stopped reports true, so a sink
+// that is done consuming (SquareFinisher with exhausted boxes, a windowed
+// shard) costs O(served) rather than O(trace).
 func ReplayRange(tr *Trace, s Sink, lo, hi int) {
 	if lo < 0 || hi < lo || hi > tr.Len() {
 		panic("trace: ReplayRange window out of range")
+	}
+	if st := stopperOf(s); st != nil {
+		for i := lo; i < hi; i++ {
+			if st.Stopped() {
+				return
+			}
+			s.Access(tr.blocks[i])
+			if tr.leafAt(i) {
+				s.EndLeaf()
+			}
+		}
+		return
 	}
 	for i := lo; i < hi; i++ {
 		s.Access(tr.blocks[i])
@@ -116,9 +168,13 @@ func ReplayRange(tr *Trace, s Sink, lo, hi int) {
 // (RepeatTrace); with stride = MaxBlock()+1 each repetition lands in a
 // fresh address range (RepeatTraceFresh) — but unlike those helpers the
 // repetition is never materialized, so memory stays bounded by the base
-// trace regardless of reps.
+// trace regardless of reps. A Stopper sink halts the repetition early.
 func ReplayRepeat(tr *Trace, s Sink, reps int, stride int64) {
+	st := stopperOf(s)
 	for r := 0; r < reps; r++ {
+		if st != nil && st.Stopped() {
+			return
+		}
 		shift := int64(r) * stride
 		if shift == 0 {
 			Replay(tr, s)
@@ -127,3 +183,94 @@ func ReplayRepeat(tr *Trace, s Sink, reps int, stride int64) {
 		Replay(tr, OffsetSink{S: s, Shift: shift})
 	}
 }
+
+// WindowSink forwards the subsequence [Lo, Hi) of a stream — counted in
+// global reference indices — to S, discarding everything outside it. It is
+// how a parallel replay shard re-streams only its slice of a generator:
+// references before Lo are skipped (a whole AccessRange outside the window
+// costs O(1)), references from Hi on report Stopped so stopper-aware
+// replays and generators cut the tail off entirely. Leaf markers are
+// forwarded only when the access they mark lies inside the window, which
+// preserves per-box leaf attribution across shard boundaries.
+//
+// Hi < 0 means an unbounded window: the sink forwards everything from Lo
+// on and stops only when S itself stops.
+type WindowSink struct {
+	S      Sink
+	Lo, Hi int64
+	n      int64 // references seen so far (global index of the next one)
+}
+
+// NewWindowSink returns a window over [lo, hi); hi < 0 is unbounded.
+func NewWindowSink(s Sink, lo, hi int64) *WindowSink {
+	return &WindowSink{S: s, Lo: lo, Hi: hi}
+}
+
+// Seen returns how many stream references have been consumed (forwarded or
+// skipped) so far.
+func (w *WindowSink) Seen() int64 { return w.n }
+
+// Access forwards the reference when its global index is inside [Lo, Hi).
+func (w *WindowSink) Access(block int64) {
+	i := w.n
+	w.n++
+	if i < w.Lo || (w.Hi >= 0 && i >= w.Hi) {
+		return
+	}
+	w.S.Access(block)
+}
+
+// AccessRange forwards the overlap of the range with the window; a range
+// entirely outside it is skipped in O(1).
+func (w *WindowSink) AccessRange(lo, count int64) {
+	if count <= 0 {
+		return
+	}
+	first := w.n
+	w.n += count
+	// Clip [first, first+count) to [Lo, Hi).
+	skip := int64(0)
+	if first < w.Lo {
+		skip = w.Lo - first
+	}
+	if skip >= count {
+		return
+	}
+	keep := count - skip
+	if w.Hi >= 0 {
+		if first+skip >= w.Hi {
+			return
+		}
+		if first+skip+keep > w.Hi {
+			keep = w.Hi - (first + skip)
+		}
+	}
+	w.S.AccessRange(lo+skip, keep)
+}
+
+// EndLeaf forwards the marker when the most recent access was forwarded.
+func (w *WindowSink) EndLeaf() {
+	i := w.n - 1
+	if w.n == 0 || i < w.Lo || (w.Hi >= 0 && i >= w.Hi) {
+		return
+	}
+	w.S.EndLeaf()
+}
+
+// Stopped reports true once the window's upper bound has been passed (or
+// the inner sink itself stopped), so the producing replay or generator can
+// stop emitting the tail.
+func (w *WindowSink) Stopped() bool {
+	if w.Hi >= 0 && w.n >= w.Hi {
+		return true
+	}
+	if st, ok := w.S.(Stopper); ok {
+		return st.Stopped()
+	}
+	return false
+}
+
+var (
+	_ Sink    = (*WindowSink)(nil)
+	_ Stopper = (*WindowSink)(nil)
+)

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+// recordSink materializes what actually reaches it, plus which accesses
+// carried a leaf marker — the ground truth for window/offset semantics.
+type recordSink struct {
+	blocks []int64
+	leaves []int // indices (into blocks) of marked accesses
+	ranges int   // AccessRange calls that reached the sink
+}
+
+func (r *recordSink) Access(block int64) { r.blocks = append(r.blocks, block) }
+
+func (r *recordSink) AccessRange(lo, count int64) {
+	r.ranges++
+	for i := int64(0); i < count; i++ {
+		r.blocks = append(r.blocks, lo+i)
+	}
+}
+
+func (r *recordSink) EndLeaf() { r.leaves = append(r.leaves, len(r.blocks)-1) }
+
+func TestWindowSinkClipsAccesses(t *testing.T) {
+	r := &recordSink{}
+	w := NewWindowSink(r, 2, 5)
+	for b := int64(10); b < 18; b++ {
+		w.Access(b)
+	}
+	if want := []int64{12, 13, 14}; !reflect.DeepEqual(r.blocks, want) {
+		t.Fatalf("forwarded %v, want %v", r.blocks, want)
+	}
+	if w.Seen() != 8 {
+		t.Fatalf("Seen() = %d, want 8", w.Seen())
+	}
+}
+
+func TestWindowSinkClipsRanges(t *testing.T) {
+	// Window [3, 9) over three ranges: one fully before, one straddling
+	// both bounds, one fully after. Only the overlap is forwarded, and
+	// out-of-window ranges never reach the sink at all.
+	r := &recordSink{}
+	w := NewWindowSink(r, 3, 9)
+	w.AccessRange(100, 2) // global 0..1: before
+	w.AccessRange(200, 10)
+	w.AccessRange(300, 4) // global 12..15: after
+	if want := []int64{201, 202, 203, 204, 205, 206}; !reflect.DeepEqual(r.blocks, want) {
+		t.Fatalf("forwarded %v, want %v", r.blocks, want)
+	}
+	if r.ranges != 1 {
+		t.Fatalf("%d ranges reached the sink, want 1 (others skip in O(1))", r.ranges)
+	}
+}
+
+func TestWindowSinkUnboundedHi(t *testing.T) {
+	r := &recordSink{}
+	w := NewWindowSink(r, 2, -1)
+	w.AccessRange(0, 6)
+	if want := []int64{2, 3, 4, 5}; !reflect.DeepEqual(r.blocks, want) {
+		t.Fatalf("forwarded %v, want %v", r.blocks, want)
+	}
+	if w.Stopped() {
+		t.Fatal("unbounded window reported Stopped")
+	}
+}
+
+func TestWindowSinkLeafAttribution(t *testing.T) {
+	// Markers on the accesses just before Lo and just past Hi-1 must be
+	// dropped; markers inside the window must follow their access.
+	r := &recordSink{}
+	w := NewWindowSink(r, 1, 3)
+	w.Access(10)
+	w.EndLeaf() // global 0: outside
+	w.Access(11)
+	w.EndLeaf()  // global 1: inside
+	w.Access(12) // global 2: inside, unmarked
+	w.Access(13)
+	w.EndLeaf() // global 3: outside
+	if want := []int64{11, 12}; !reflect.DeepEqual(r.blocks, want) {
+		t.Fatalf("forwarded %v, want %v", r.blocks, want)
+	}
+	if want := []int{0}; !reflect.DeepEqual(r.leaves, want) {
+		t.Fatalf("leaf marks at %v, want %v", r.leaves, want)
+	}
+}
+
+func TestWindowSinkStopsPastHi(t *testing.T) {
+	w := NewWindowSink(&recordSink{}, 0, 4)
+	for i := 0; i < 4; i++ {
+		if w.Stopped() {
+			t.Fatalf("stopped after %d of 4 references", i)
+		}
+		w.Access(int64(i))
+	}
+	if !w.Stopped() {
+		t.Fatal("window past Hi did not report Stopped")
+	}
+}
+
+func TestReplayHonorsWindowStop(t *testing.T) {
+	// A replay into a bounded window must halt at Hi instead of walking
+	// the rest of the trace.
+	b := &Builder{}
+	for i := 0; i < 10_000; i++ {
+		b.Access(int64(i))
+	}
+	tr := b.Build()
+	w := NewWindowSink(&recordSink{}, 0, 7)
+	Replay(tr, w)
+	if w.Seen() != 7 {
+		t.Fatalf("replay fed %d references into a window of 7", w.Seen())
+	}
+}
+
+func TestOffsetSinkDelegatesStopped(t *testing.T) {
+	w := NewWindowSink(&recordSink{}, 0, 1)
+	o := OffsetSink{S: w, Shift: 5}
+	if o.Stopped() {
+		t.Fatal("stopped before any access")
+	}
+	o.Access(0)
+	if !o.Stopped() {
+		t.Fatal("OffsetSink did not surface the wrapped sink's stop")
+	}
+	if plain := (OffsetSink{S: &recordSink{}, Shift: 1}); plain.Stopped() {
+		t.Fatal("OffsetSink over a stopper-less sink reported Stopped")
+	}
+}

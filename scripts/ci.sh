@@ -47,6 +47,15 @@ go test -race -short \
 echo "== go test -race (fault injection) =="
 go test -race -short ./internal/fault/
 
+echo "== go test -race (parallel square replay) =="
+# The sharded replay paths: plan/execute determinism at explicit shard and
+# worker counts, the ledger-merge equivalence, and the finisher early-stop
+# regressions, all race-checked since shards share the engine pool.
+go test -race -short \
+    ./internal/paging/ \
+    ./internal/adaptivity/ \
+    -run 'TestSquareRunParallel|TestSquareEmitParallel|TestServedRepeat|TestServedEmitRepeat|TestSrcFinisher|TestReplayRangeHalts|TestReplayRepeatHalts|TestDefaultShards|TestMeasureTrace'
+
 echo "== chaos smoke =="
 # The deterministic fault storm: concurrent clients against a real server
 # with every injection point armed at a fixed seed. Asserts process
@@ -75,5 +84,6 @@ go test -run '^$' -fuzz '^FuzzParseID$' -fuzztime 5s ./internal/core/
 go test -run '^$' -fuzz '^FuzzReadTSV$' -fuzztime 5s ./internal/profile/
 go test -run '^$' -fuzz '^FuzzParseIgnoreDirective$' -fuzztime 5s ./internal/lint/
 go test -run '^$' -fuzz '^FuzzKernelsMatchOracles$' -fuzztime 5s ./internal/paging/
+go test -run '^$' -fuzz '^FuzzParallelMatchesSerial$' -fuzztime 5s ./internal/paging/
 
 echo "CI OK"
