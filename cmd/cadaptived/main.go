@@ -1,18 +1,27 @@
 // Command cadaptived serves the reproduction's experiments over HTTP: the
 // long-running counterpart to the cadaptive CLI, backed by the same
-// core.RunContext entry point, with a content-addressed result cache in
-// front of the engine.
+// core.RunContext entry point, with a sharded, content-addressed result
+// cache in front of the engine.
 //
 // Usage:
 //
-//	cadaptived -addr :8344 -workers 8 -cache 512 -max-runs 2 -timeout 60s
+//	cadaptived -addr :8344 -workers 8 -cache 512 -cache-bytes 67108864 -max-runs 2 -timeout 60s
 //
 // Endpoints:
 //
 //	POST /v1/run          run (or replay) an experiment: {"experiment":"E3","config":{"seed":1,"trials":20,"max_k":7}}
 //	GET  /v1/experiments  list experiments and ablations (mirrors -list)
 //	GET  /healthz         liveness
-//	GET  /metrics         cache hit/miss/coalesce counters, run counts, engine utilisation
+//	GET  /metrics         per-shard cache counters, run counts, engine utilisation
+//
+// The cache is bounded two ways — entries (-cache) and bytes (-cache-bytes,
+// the sum of body lengths); either set to 0 disables storing entirely while
+// keeping singleflight de-duplication. It is split over -cache-shards
+// independent shards (0 = auto-size from GOMAXPROCS), each running the
+// -cache-policy eviction kernel ("lru" or "fifo"). -cache-ttl caps replay
+// age (0 = never expire; sound, results are pure functions of the key), and
+// -cache-swr serves a stale body for that much longer while one background
+// refresh recomputes it.
 //
 // SIGINT/SIGTERM trigger graceful shutdown: the listener closes immediately,
 // /healthz flips to 503 "draining", in-flight runs drain (bounded by
@@ -45,32 +54,108 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cadaptived:", err)
+		os.Exit(2)
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "cadaptived:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// daemonConfig is the parsed command line: the service options plus the
+// daemon-level knobs that never reach service.New.
+type daemonConfig struct {
+	opts      service.Options
+	workers   int
+	drain     time.Duration
+	chaosSeed uint64
+	chaosSpec string
+}
+
+// parseFlags turns argv into a daemonConfig, translating flag conventions
+// into Options conventions: flags spell "caching off" as 0 (and reject
+// negatives), Options spells it as a negative (because its zero value must
+// keep meaning "default").
+func parseFlags(args []string) (daemonConfig, error) {
+	fs := flag.NewFlagSet("cadaptived", flag.ContinueOnError)
 	var (
-		addr      = flag.String("addr", ":8344", "listen address")
-		workers   = flag.Int("workers", 0, "engine worker bound (0 = GOMAXPROCS); results do not depend on it")
-		cache     = flag.Int("cache", 512, "result-cache capacity in entries")
-		maxRuns   = flag.Int("max-runs", 2, "maximum concurrent experiment runs (each fans out on the engine internally)")
-		timeout   = flag.Duration("timeout", 60*time.Second, "per-run timeout, threaded into the engine as context cancellation (negative = unbounded)")
-		drain     = flag.Duration("drain", 2*time.Minute, "graceful-shutdown drain budget for in-flight runs")
-		chaosSeed = flag.Uint64("chaos-seed", 0, "seed for deterministic fault injection (used with -chaos-spec)")
-		chaosSpec = flag.String("chaos-spec", "", "fault spec, e.g. 'engine.cell:panic:0.01,service.run:error:0.05,service.cache:latency:0.1:50ms'; empty = chaos off")
+		addr        = fs.String("addr", ":8344", "listen address")
+		workers     = fs.Int("workers", 0, "engine worker bound (0 = GOMAXPROCS); results do not depend on it")
+		cache       = fs.Int("cache", 512, "result-cache entry bound (0 = caching disabled)")
+		cacheBytes  = fs.Int64("cache-bytes", 64<<20, "result-cache bytes bound, the sum of cached body lengths (0 = caching disabled)")
+		cacheShards = fs.Int("cache-shards", 0, "cache shard count, rounded up to a power of two (0 = auto: 4×GOMAXPROCS)")
+		cachePolicy = fs.String("cache-policy", "lru", "per-shard eviction policy: lru or fifo")
+		cacheTTL    = fs.Duration("cache-ttl", 0, "cached-result time-to-live (0 = never expire)")
+		cacheSWR    = fs.Duration("cache-swr", 0, "stale-while-revalidate window past -cache-ttl (0 = off; requires -cache-ttl)")
+		maxRuns     = fs.Int("max-runs", 2, "maximum concurrent experiment runs (each fans out on the engine internally)")
+		timeout     = fs.Duration("timeout", 60*time.Second, "per-run timeout, threaded into the engine as context cancellation (negative = unbounded)")
+		drain       = fs.Duration("drain", 2*time.Minute, "graceful-shutdown drain budget for in-flight runs")
+		chaosSeed   = fs.Uint64("chaos-seed", 0, "seed for deterministic fault injection (used with -chaos-spec)")
+		chaosSpec   = fs.String("chaos-spec", "", "fault spec, e.g. 'engine.cell:panic:0.01,service.run:error:0.05,service.cache:latency:0.1:50ms'; empty = chaos off")
 	)
-	flag.Parse()
-
-	if *workers < 0 {
-		return fmt.Errorf("-workers %d < 0", *workers)
+	if err := fs.Parse(args); err != nil {
+		return daemonConfig{}, err
 	}
-	engine.SetSharedWorkers(*workers)
+	if fs.NArg() > 0 {
+		return daemonConfig{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *workers < 0 {
+		return daemonConfig{}, fmt.Errorf("-workers %d < 0", *workers)
+	}
+	switch {
+	case *cache < 0:
+		return daemonConfig{}, fmt.Errorf("-cache %d < 0 (disable caching with -cache 0)", *cache)
+	case *cacheBytes < 0:
+		return daemonConfig{}, fmt.Errorf("-cache-bytes %d < 0 (disable caching with -cache-bytes 0)", *cacheBytes)
+	case *cacheShards < 0:
+		return daemonConfig{}, fmt.Errorf("-cache-shards %d < 0 (0 = auto)", *cacheShards)
+	case *cacheTTL < 0:
+		return daemonConfig{}, fmt.Errorf("-cache-ttl %v < 0 (0 = never expire)", *cacheTTL)
+	case *cacheSWR < 0:
+		return daemonConfig{}, fmt.Errorf("-cache-swr %v < 0", *cacheSWR)
+	case *cacheSWR > 0 && *cacheTTL == 0:
+		return daemonConfig{}, errors.New("-cache-swr without -cache-ttl: a stale window needs an expiry to be stale past")
+	}
+	if *chaosSpec == "" && *chaosSeed != 0 {
+		return daemonConfig{}, errors.New("-chaos-seed without -chaos-spec does nothing; give a spec or drop the seed")
+	}
 
-	if *chaosSpec != "" {
-		inj, err := fault.Enable(*chaosSeed, *chaosSpec)
+	opts := service.Options{
+		Addr:              *addr,
+		CacheEntries:      *cache,
+		CacheBytes:        *cacheBytes,
+		CacheShards:       *cacheShards,
+		CachePolicy:       *cachePolicy,
+		CacheTTL:          *cacheTTL,
+		CacheSWR:          *cacheSWR,
+		MaxConcurrentRuns: *maxRuns,
+		RunTimeout:        *timeout,
+	}
+	// 0 means "off" at the flag level but "default" at the Options level;
+	// the Options opt-in for off is negative.
+	if *cache == 0 {
+		opts.CacheEntries = -1
+	}
+	if *cacheBytes == 0 {
+		opts.CacheBytes = -1
+	}
+	return daemonConfig{
+		opts:      opts,
+		workers:   *workers,
+		drain:     *drain,
+		chaosSeed: *chaosSeed,
+		chaosSpec: *chaosSpec,
+	}, nil
+}
+
+func run(cfg daemonConfig) error {
+	engine.SetSharedWorkers(cfg.workers)
+
+	if cfg.chaosSpec != "" {
+		inj, err := fault.Enable(cfg.chaosSeed, cfg.chaosSpec)
 		if err != nil {
 			return fmt.Errorf("-chaos-spec: %w", err)
 		}
@@ -80,17 +165,10 @@ func run() error {
 			armed = append(armed, st.Point)
 		}
 		log.Printf("cadaptived: CHAOS MODE armed (seed=%d, points=%v, spec=%q) — injected faults are deliberate",
-			*chaosSeed, armed, *chaosSpec)
-	} else if *chaosSeed != 0 {
-		return errors.New("-chaos-seed without -chaos-spec does nothing; give a spec or drop the seed")
+			cfg.chaosSeed, armed, cfg.chaosSpec)
 	}
 
-	srv, err := service.New(service.Options{
-		Addr:              *addr,
-		CacheEntries:      *cache,
-		MaxConcurrentRuns: *maxRuns,
-		RunTimeout:        *timeout,
-	})
+	srv, err := service.New(cfg.opts)
 	if err != nil {
 		return err
 	}
@@ -105,8 +183,9 @@ func run() error {
 				errc <- fmt.Errorf("listener goroutine panicked: %v", r)
 			}
 		}()
-		log.Printf("cadaptived: listening on %s (workers=%d, cache=%d, max-runs=%d, timeout=%v)",
-			*addr, engine.Shared().Workers(), *cache, *maxRuns, *timeout)
+		log.Printf("cadaptived: listening on %s (workers=%d, cache=%d entries/%d bytes/%d shards/%s, max-runs=%d, timeout=%v)",
+			cfg.opts.Addr, engine.Shared().Workers(), cfg.opts.CacheEntries, cfg.opts.CacheBytes,
+			cfg.opts.CacheShards, cfg.opts.CachePolicy, cfg.opts.MaxConcurrentRuns, cfg.opts.RunTimeout)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -116,8 +195,8 @@ func run() error {
 	case err := <-errc:
 		return err // listener failed before any signal
 	case sig := <-sigc:
-		log.Printf("cadaptived: %v, draining in-flight runs (budget %v)", sig, *drain)
-		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		log.Printf("cadaptived: %v, draining in-flight runs (budget %v)", sig, cfg.drain)
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			return fmt.Errorf("shutdown: %w", err)

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	cfg, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.opts.Addr != ":8344" || cfg.opts.CacheEntries != 512 || cfg.opts.CacheBytes != 64<<20 {
+		t.Errorf("defaults: addr=%q entries=%d bytes=%d", cfg.opts.Addr, cfg.opts.CacheEntries, cfg.opts.CacheBytes)
+	}
+	if cfg.opts.CacheShards != 0 || cfg.opts.CachePolicy != "lru" {
+		t.Errorf("defaults: shards=%d (want 0 = auto) policy=%q (want lru)", cfg.opts.CacheShards, cfg.opts.CachePolicy)
+	}
+	if cfg.opts.CacheTTL != 0 || cfg.opts.CacheSWR != 0 {
+		t.Errorf("defaults: ttl=%v swr=%v, want 0", cfg.opts.CacheTTL, cfg.opts.CacheSWR)
+	}
+	if cfg.drain != 2*time.Minute || cfg.opts.RunTimeout != 60*time.Second {
+		t.Errorf("defaults: drain=%v timeout=%v", cfg.drain, cfg.opts.RunTimeout)
+	}
+}
+
+func TestParseFlagsCacheOff(t *testing.T) {
+	// Flag-level 0 means "caching disabled" and maps to the Options-level
+	// negative opt-in (Options' zero value must keep meaning "default").
+	cfg, err := parseFlags([]string{"-cache", "0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.opts.CacheEntries != -1 {
+		t.Errorf("-cache 0 => CacheEntries %d, want -1", cfg.opts.CacheEntries)
+	}
+	if cfg, err = parseFlags([]string{"-cache-bytes", "0"}); err != nil {
+		t.Fatal(err)
+	} else if cfg.opts.CacheBytes != -1 {
+		t.Errorf("-cache-bytes 0 => CacheBytes %d, want -1", cfg.opts.CacheBytes)
+	}
+}
+
+func TestParseFlagsCacheKnobs(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-cache-shards", "8", "-cache-policy", "fifo",
+		"-cache-ttl", "1h", "-cache-swr", "10m",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.opts.CacheShards != 8 || cfg.opts.CachePolicy != "fifo" {
+		t.Errorf("shards=%d policy=%q", cfg.opts.CacheShards, cfg.opts.CachePolicy)
+	}
+	if cfg.opts.CacheTTL != time.Hour || cfg.opts.CacheSWR != 10*time.Minute {
+		t.Errorf("ttl=%v swr=%v", cfg.opts.CacheTTL, cfg.opts.CacheSWR)
+	}
+}
+
+func TestParseFlagsRejects(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string // substring of the error
+	}{
+		{[]string{"-cache", "-1"}, "-cache"},
+		{[]string{"-cache-bytes", "-1"}, "-cache-bytes"},
+		{[]string{"-cache-shards", "-1"}, "-cache-shards"},
+		{[]string{"-cache-ttl", "-1s"}, "-cache-ttl"},
+		{[]string{"-cache-swr", "-1s"}, "-cache-swr"},
+		{[]string{"-cache-swr", "1s"}, "without -cache-ttl"},
+		{[]string{"-workers", "-1"}, "-workers"},
+		{[]string{"-chaos-seed", "7"}, "without -chaos-spec"},
+		{[]string{"stray"}, "unexpected arguments"},
+	}
+	for _, tc := range cases {
+		_, err := parseFlags(tc.args)
+		if err == nil {
+			t.Errorf("parseFlags(%v): accepted, want error", tc.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("parseFlags(%v): error %q does not mention %q", tc.args, err, tc.want)
+		}
+	}
+}

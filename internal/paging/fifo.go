@@ -12,15 +12,23 @@ import (
 // the repository's traces.
 //
 // The implementation is a circular ring of blocks in fetch order plus a
-// dense residency bitmap: a block is resident exactly while its (unique)
-// ring entry is live, so there is no stale-entry skipping and every
-// operation is O(1) with no steady-state allocation.
+// dense residency bitmap. Access/evict keep every operation O(1) with no
+// steady-state allocation. Remove (needed when FIFO serves as an eviction
+// policy under an external bound, not just as a replay kernel) marks the
+// block non-resident and leaves its ring slot behind as a stale entry;
+// stale slots are skipped lazily when the eviction cursor reaches them, so
+// removal is O(1) amortised too. A slot holds the *current* entry for its
+// block exactly when the block is resident and `at[block]` points back at
+// the slot — re-inserting a removed block pushes a fresh slot and retargets
+// `at`, which is what keeps old slots recognisably stale.
 type FIFO struct {
 	capacity int64
 	resident []bool  // block -> currently cached
-	ring     []int64 // circular buffer of resident blocks in fetch order
-	ringHead int     // index of the oldest resident block
-	size     int     // live entries in the ring
+	at       []int32 // block -> ring index of its current slot (while resident)
+	ring     []int64 // circular buffer of blocks in fetch order
+	ringHead int     // index of the oldest slot (live or stale)
+	size     int     // slots in the window, including stale ones
+	dead     int     // stale slots in the window (Removed, not yet skipped)
 	misses   int64
 	hits     int64
 }
@@ -34,7 +42,7 @@ func NewFIFO(capacity int64) (*FIFO, error) {
 }
 
 // Len reports the number of resident blocks.
-func (f *FIFO) Len() int64 { return int64(f.size) }
+func (f *FIFO) Len() int64 { return int64(f.size - f.dead) }
 
 // Misses reports the number of accesses that required a fetch.
 func (f *FIFO) Misses() int64 { return f.misses }
@@ -48,7 +56,7 @@ func (f *FIFO) SetCapacity(capacity int64) error {
 		return fmt.Errorf("paging: FIFO capacity %d < 1", capacity)
 	}
 	f.capacity = capacity
-	for int64(f.size) > f.capacity {
+	for f.Len() > f.capacity {
 		f.evict()
 	}
 	return nil
@@ -73,12 +81,35 @@ func (f *FIFO) Access(block int64) bool {
 		return true
 	}
 	f.misses++
-	if int64(f.size) >= f.capacity {
+	if f.Len() >= f.capacity {
 		f.evict()
 	}
 	f.push(block)
 	f.resident[block] = true
 	return false
+}
+
+// Victim returns the least recently fetched resident block — the one
+// Access would evict next — or -1 when the cache is empty. It does not
+// evict; pair it with Remove under an external bound.
+func (f *FIFO) Victim() int64 {
+	f.skipStale()
+	if f.size == 0 {
+		return -1
+	}
+	return f.ring[f.ringHead]
+}
+
+// Remove evicts one specific resident block, wherever it sits in fetch
+// order, and reports whether it was resident. The ring slot stays behind
+// as a stale entry and is skipped when the eviction cursor reaches it.
+func (f *FIFO) Remove(block int64) bool {
+	if block < 0 || block >= int64(len(f.resident)) || !f.resident[block] {
+		return false
+	}
+	f.resident[block] = false
+	f.dead++
+	return true
 }
 
 func (f *FIFO) ensure(block int64) {
@@ -89,9 +120,12 @@ func (f *FIFO) ensure(block int64) {
 	if n <= block {
 		n = block + 1
 	}
-	grown := make([]bool, n)
-	copy(grown, f.resident)
-	f.resident = grown
+	grownResident := make([]bool, n)
+	copy(grownResident, f.resident)
+	f.resident = grownResident
+	grownAt := make([]int32, n)
+	copy(grownAt, f.at)
+	f.at = grownAt
 }
 
 // push appends block at the ring's tail, unwrapping into a larger buffer
@@ -108,13 +142,38 @@ func (f *FIFO) push(block int64) {
 		}
 		f.ring = grown
 		f.ringHead = 0
+		// Re-target the current-slot index of every resident block. Slots
+		// are visited oldest to newest and a block's current slot is always
+		// its newest, so the last write wins and stale slots are harmless.
+		for i := 0; i < f.size; i++ {
+			if b := f.ring[i]; f.resident[b] {
+				f.at[b] = int32(i)
+			}
+		}
 	}
-	f.ring[(f.ringHead+f.size)%len(f.ring)] = block
+	idx := (f.ringHead + f.size) % len(f.ring)
+	f.ring[idx] = block
+	f.at[block] = int32(idx)
 	f.size++
+}
+
+// skipStale advances the cursor past slots whose block was Removed (or
+// re-inserted, leaving the old slot behind).
+func (f *FIFO) skipStale() {
+	for f.size > 0 {
+		b := f.ring[f.ringHead]
+		if f.resident[b] && f.at[b] == int32(f.ringHead) {
+			return
+		}
+		f.ringHead = (f.ringHead + 1) % len(f.ring)
+		f.size--
+		f.dead--
+	}
 }
 
 // evict removes the least recently fetched resident block.
 func (f *FIFO) evict() {
+	f.skipStale()
 	if f.size == 0 {
 		return
 	}

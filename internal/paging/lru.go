@@ -178,6 +178,35 @@ func (l *LRU) evict() {
 	l.size--
 }
 
+// Victim returns the least recently used resident block — the one Access
+// would evict next — or -1 when the cache is empty. It does not evict;
+// pair it with Remove when an external bound (bytes, entry count) rather
+// than this cache's own capacity decides when to evict.
+func (l *LRU) Victim() int64 {
+	if l.tail == nilNode {
+		return -1
+	}
+	return l.blockOf[l.tail]
+}
+
+// Remove evicts one specific resident block, wherever it sits in the
+// recency order, and reports whether it was resident. O(1): the dense
+// index finds the node and the intrusive list unlinks it in place.
+func (l *LRU) Remove(block int64) bool {
+	if block < 0 || block >= int64(len(l.slot)) {
+		return false
+	}
+	s := l.slot[block]
+	if s == nilNode {
+		return false
+	}
+	l.unlink(s)
+	l.slot[block] = nilNode
+	l.free = append(l.free, s)
+	l.size--
+	return true
+}
+
 // RunLRUFixed replays tr through an LRU of fixed capacity and returns the
 // miss count — the DAM-model I/O cost of the trace.
 func RunLRUFixed(tr *trace.Trace, capacity int64) (int64, error) {

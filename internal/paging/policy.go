@@ -1,0 +1,106 @@
+package paging
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EvictionPolicy is the pluggable ordering behind a bounded cache: it
+// answers "which entry should go next" while the caller owns the entries
+// themselves and decides *when* to evict (an entry-count bound, a bytes
+// bound, a TTL sweep — whatever the cache's contract is). IDs are small
+// dense non-negative integers allocated by the caller, which is exactly
+// the dense-remapped universe the array-backed kernels in this package
+// are built for; the shipped implementations are thin adapters over them,
+// so the simulator's LRU and FIFO kernels double as the production result
+// cache's engine.
+//
+// Contract: Insert an ID at most once until it is Removed; Touch only
+// resident IDs; Victim returns a resident ID without removing it (-1 when
+// empty) and is stable until the next mutation. None of the methods are
+// safe for concurrent use — the owning cache holds its own lock.
+type EvictionPolicy interface {
+	// Touch records a use of a resident entry (a cache hit).
+	Touch(id int64)
+	// Insert admits a new entry (a cache fill).
+	Insert(id int64)
+	// Victim reports which resident entry the policy would evict next,
+	// or -1 when it tracks none. It does not remove the entry.
+	Victim() int64
+	// Remove forgets an entry (eviction, invalidation, expiry) and
+	// reports whether it was tracked.
+	Remove(id int64) bool
+	// Len reports how many entries the policy currently tracks.
+	Len() int64
+}
+
+// policyFactories maps policy names to constructors. ARC/CAR-family
+// policies (Consuegra et al., "Analyzing Adaptive Cache Replacement
+// Strategies") slot in here once their kernels land.
+var policyFactories = map[string]func() EvictionPolicy{
+	"lru":  NewLRUPolicy,
+	"fifo": NewFIFOPolicy,
+}
+
+// NewPolicy returns a fresh eviction policy by name. The names are the
+// kernel names: "lru" and "fifo".
+func NewPolicy(name string) (EvictionPolicy, error) {
+	mk, ok := policyFactories[name]
+	if !ok {
+		return nil, fmt.Errorf("paging: unknown eviction policy %q (have %v)", name, PolicyNames())
+	}
+	return mk(), nil
+}
+
+// PolicyNames lists the registered policy names, sorted.
+func PolicyNames() []string {
+	names := make([]string, 0, len(policyFactories))
+	for name := range policyFactories {
+		names = append(names, name) //lint:ignore maporder names is sorted immediately below
+	}
+	sort.Strings(names)
+	return names
+}
+
+// lruPolicy adapts the dense-remapped LRU kernel. The kernel's capacity is
+// pinned at MaxInt64 so it never self-evicts: Access doubles as both Touch
+// (hit path: move to front) and Insert (miss path: push front), and the
+// caller drives eviction through Victim/Remove.
+type lruPolicy struct{ c *LRU }
+
+// NewLRUPolicy returns an EvictionPolicy with least-recently-used order,
+// backed by the array kernel in lru.go.
+func NewLRUPolicy() EvictionPolicy {
+	c, err := NewLRU(math.MaxInt64)
+	if err != nil {
+		panic("paging: NewLRU(MaxInt64) cannot fail: " + err.Error())
+	}
+	return &lruPolicy{c}
+}
+
+func (p *lruPolicy) Touch(id int64)       { p.c.Access(id) }
+func (p *lruPolicy) Insert(id int64)      { p.c.Access(id) }
+func (p *lruPolicy) Victim() int64        { return p.c.Victim() }
+func (p *lruPolicy) Remove(id int64) bool { return p.c.Remove(id) }
+func (p *lruPolicy) Len() int64           { return p.c.Len() }
+
+// fifoPolicy adapts the ring-buffer FIFO kernel the same way. Touch is a
+// no-op — not reordering on hits is the definition of FIFO.
+type fifoPolicy struct{ c *FIFO }
+
+// NewFIFOPolicy returns an EvictionPolicy with first-in-first-out order,
+// backed by the array kernel in fifo.go.
+func NewFIFOPolicy() EvictionPolicy {
+	c, err := NewFIFO(math.MaxInt64)
+	if err != nil {
+		panic("paging: NewFIFO(MaxInt64) cannot fail: " + err.Error())
+	}
+	return &fifoPolicy{c}
+}
+
+func (p *fifoPolicy) Touch(int64)          {}
+func (p *fifoPolicy) Insert(id int64)      { p.c.Access(id) }
+func (p *fifoPolicy) Victim() int64        { return p.c.Victim() }
+func (p *fifoPolicy) Remove(id int64) bool { return p.c.Remove(id) }
+func (p *fifoPolicy) Len() int64           { return p.c.Len() }

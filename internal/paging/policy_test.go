@@ -1,0 +1,208 @@
+package paging
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// refPolicy is a deliberately naive reference for the policy adapters: a
+// slice of IDs in eviction order, linear-scanned. touchMoves selects LRU
+// (touch moves to back) vs FIFO (touch is a no-op).
+type refPolicy struct {
+	order      []int64
+	touchMoves bool
+}
+
+func (r *refPolicy) Touch(id int64) {
+	if !r.touchMoves {
+		return
+	}
+	for i, v := range r.order {
+		if v == id {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			r.order = append(r.order, id)
+			return
+		}
+	}
+}
+
+func (r *refPolicy) Insert(id int64) { r.order = append(r.order, id) }
+
+func (r *refPolicy) Victim() int64 {
+	if len(r.order) == 0 {
+		return -1
+	}
+	return r.order[0]
+}
+
+func (r *refPolicy) Remove(id int64) bool {
+	for i, v := range r.order {
+		if v == id {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (r *refPolicy) Len() int64 { return int64(len(r.order)) }
+
+// TestPolicyMatchesReference drives each registered policy and its naive
+// reference through the same random op sequence — insert, touch, remove a
+// random resident ID, evict the victim — and checks victim order and
+// length agree at every step. Re-insertion after removal is the case that
+// exercises the FIFO kernel's stale-slot machinery.
+func TestPolicyMatchesReference(t *testing.T) {
+	for _, name := range PolicyNames() {
+		t.Run(name, func(t *testing.T) {
+			p, err := NewPolicy(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := &refPolicy{touchMoves: name == "lru"}
+			src := xrand.New(xrand.Split(99, "policy-ref", int64(len(name))))
+
+			resident := map[int64]bool{}
+			var ids []int64 // resident IDs, arbitrary order
+			pick := func() int64 { return ids[src.Intn(len(ids))] }
+			drop := func(id int64) {
+				delete(resident, id)
+				for i, v := range ids {
+					if v == id {
+						ids[i] = ids[len(ids)-1]
+						ids = ids[:len(ids)-1]
+						return
+					}
+				}
+			}
+
+			const universe = 24
+			for op := 0; op < 4000; op++ {
+				switch k := src.Intn(4); {
+				case k == 0 || len(ids) == 0: // insert a non-resident ID
+					id := int64(src.Intn(universe))
+					for resident[id] {
+						id = int64(src.Intn(universe))
+					}
+					p.Insert(id)
+					ref.Insert(id)
+					resident[id] = true
+					ids = append(ids, id)
+				case k == 1: // touch a resident ID
+					id := pick()
+					p.Touch(id)
+					ref.Touch(id)
+				case k == 2: // remove a random resident ID
+					id := pick()
+					got, want := p.Remove(id), ref.Remove(id)
+					if got != want {
+						t.Fatalf("op %d: Remove(%d) = %v, reference %v", op, id, got, want)
+					}
+					drop(id)
+				default: // evict the policy's victim
+					got, want := p.Victim(), ref.Victim()
+					if got != want {
+						t.Fatalf("op %d: Victim() = %d, reference %d", op, got, want)
+					}
+					if got >= 0 {
+						p.Remove(got)
+						ref.Remove(got)
+						drop(got)
+					}
+				}
+				if got, want := p.Victim(), ref.Victim(); got != want {
+					t.Fatalf("op %d: post-op Victim() = %d, reference %d", op, got, want)
+				}
+				if got, want := p.Len(), ref.Len(); got != want {
+					t.Fatalf("op %d: Len() = %d, reference %d", op, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestNewPolicyUnknownName(t *testing.T) {
+	if _, err := NewPolicy("belady-crystal-ball"); err == nil {
+		t.Fatal("unknown policy name accepted")
+	}
+}
+
+// TestLRUVictimAndRemove pins the kernel-level surface the policy adapter
+// rides on: Victim is the tail, Remove unlinks anywhere, and a removed
+// block's node is recycled.
+func TestLRUVictimAndRemove(t *testing.T) {
+	l, err := NewLRU(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := l.Victim(); v != -1 {
+		t.Fatalf("empty Victim() = %d, want -1", v)
+	}
+	if l.Remove(3) {
+		t.Fatal("Remove on empty cache reported residency")
+	}
+	for b := int64(0); b < 4; b++ {
+		l.Access(b)
+	}
+	if v := l.Victim(); v != 0 {
+		t.Fatalf("Victim() = %d, want oldest (0)", v)
+	}
+	l.Access(0) // touch: 1 is now LRU
+	if v := l.Victim(); v != 1 {
+		t.Fatalf("Victim() after touch = %d, want 1", v)
+	}
+	if !l.Remove(2) || l.Remove(2) {
+		t.Fatal("Remove(2) should succeed exactly once")
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len() = %d after removing 1 of 4", l.Len())
+	}
+	// Eviction order now 1, 3, 0.
+	for _, w := range []int64{1, 3, 0} {
+		v := l.Victim()
+		if v != w {
+			t.Fatalf("Victim() = %d, want %d", v, w)
+		}
+		l.Remove(v)
+	}
+	if l.Len() != 0 || l.Victim() != -1 {
+		t.Fatalf("cache not empty after removing all: len=%d victim=%d", l.Len(), l.Victim())
+	}
+}
+
+// TestFIFOVictimAndRemove covers the stale-slot path: remove mid-ring,
+// re-insert the same block, and check the old slot never resurfaces.
+func TestFIFOVictimAndRemove(t *testing.T) {
+	f, err := NewFIFO(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := f.Victim(); v != -1 {
+		t.Fatalf("empty Victim() = %d, want -1", v)
+	}
+	for b := int64(0); b < 4; b++ {
+		f.Access(b)
+	}
+	f.Access(0) // hit; FIFO order unchanged
+	if v := f.Victim(); v != 0 {
+		t.Fatalf("Victim() = %d, want fetch-order oldest (0)", v)
+	}
+	if !f.Remove(1) || f.Remove(1) {
+		t.Fatal("Remove(1) should succeed exactly once")
+	}
+	f.Access(1) // re-insert: now newest; the stale slot for 1 sits mid-ring
+	if f.Len() != 4 {
+		t.Fatalf("Len() = %d, want 4 after re-insert", f.Len())
+	}
+	for _, w := range []int64{0, 2, 3, 1} {
+		v := f.Victim()
+		if v != w {
+			t.Fatalf("Victim() = %d, want %d", v, w)
+		}
+		f.Remove(v)
+	}
+	if f.Len() != 0 || f.Victim() != -1 {
+		t.Fatalf("cache not empty after removing all: len=%d victim=%d", f.Len(), f.Victim())
+	}
+}

@@ -1,0 +1,110 @@
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// BenchmarkShardedCacheLoad measures do() throughput under goroutine
+// contention at different shard counts — the tentpole's reason to exist.
+// SetParallelism(32) puts 32 goroutines per GOMAXPROCS on the cache (the
+// spec's 16–64 band on a 1-CPU host), hammering a hot working set of 64
+// keys with a ~97% hit rate so the measured path is the lock handoff, not
+// the fill. BENCH_pr7.json records the results; on a 1-CPU container the
+// shard win is lock-convoy relief, not parallel speedup, so the curve is
+// expected to be modest there (see the JSON's note).
+func BenchmarkShardedCacheLoad(b *testing.B) {
+	const nKeys = 64
+	keys := make([]string, nKeys)
+	bodies := make([][]byte, nKeys)
+	for i := range keys {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("bench-%d", i)))
+		keys[i] = hex.EncodeToString(sum[:])
+		bodies[i] = make([]byte, 256)
+	}
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			// Entry bound well above nKeys: the global bound splits into
+			// per-shard bounds, and hash skew over 64 keys would otherwise
+			// overflow the fuller shards and turn the benchmark into an
+			// eviction-churn measurement instead of a lock one.
+			c, err := newShardedCache(cacheConfig{
+				shards: shards, maxEntries: 16 * nKeys, maxBytes: 1 << 30,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			var seq atomic.Uint64
+			b.SetParallelism(32)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				// Per-goroutine stride over the key space: every goroutine
+				// touches every key, so shards only help if the locks do.
+				i := seq.Add(1)
+				for pb.Next() {
+					i++
+					k := int(i % nKeys)
+					_, _, err := c.do(ctx, keys[k], func() ([]byte, error) {
+						return bodies[k], nil
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestServiceTablesIdenticalAcrossShardCounts backs BENCH_pr7.json's
+// tables_identical_across_shard_counts claim: the shard count is a pure
+// performance knob — the same experiment at shards 1, 4, and 16 produces
+// byte-identical tables up to the measured timing metrics.
+func TestServiceTablesIdenticalAcrossShardCounts(t *testing.T) {
+	normalize := func(raw []byte) string {
+		var tb core.Table
+		if err := json.Unmarshal(raw, &tb); err != nil {
+			t.Fatalf("response table is not a valid core.Table: %v", err)
+		}
+		tb.Metrics = core.Metrics{}
+		out, err := json.Marshal(&tb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(out)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Seed, cfg.Trials, cfg.MaxK = 11, 2, 4
+
+	var want string
+	for _, shards := range []int{1, 4, 16} {
+		s, err := New(Options{Addr: "127.0.0.1:0", CacheEntries: 16, CacheShards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(s.Handler())
+		c := NewClient(srv.URL)
+		c.HTTPClient = srv.Client()
+		resp, err := c.Run(context.Background(), "E1", cfg)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		srv.Close()
+		got := normalize(resp.Table)
+		if want == "" {
+			want = got
+		} else if got != want {
+			t.Errorf("shards=%d: table differs from shards=1 baseline", shards)
+		}
+	}
+}

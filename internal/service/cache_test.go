@@ -9,7 +9,19 @@ import (
 	"testing"
 )
 
-func mustDo(t *testing.T, c *resultCache, key, val string) outcome {
+// newTestCache builds a sharded cache with a huge bytes budget so tests
+// that only care about entry counts or singleflight aren't perturbed by
+// the bytes bound.
+func newTestCache(t *testing.T, shards int, entries int64) *shardedCache {
+	t.Helper()
+	c, err := newShardedCache(cacheConfig{shards: shards, maxEntries: entries, maxBytes: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func mustDo(t *testing.T, c *shardedCache, key, val string) outcome {
 	t.Helper()
 	body, oc, err := c.do(context.Background(), key, func() ([]byte, error) {
 		return []byte(val), nil
@@ -24,7 +36,9 @@ func mustDo(t *testing.T, c *resultCache, key, val string) outcome {
 }
 
 func TestCacheLRUBounded(t *testing.T) {
-	c := newResultCache(3)
+	// One shard so the global entry bound is exactly the shard's bound and
+	// the LRU order is a single total order, like the old resultCache.
+	c := newTestCache(t, 1, 3)
 	for i := 0; i < 5; i++ {
 		key := fmt.Sprintf("k%d", i)
 		if oc := mustDo(t, c, key, key); oc != outcomeMiss {
@@ -36,18 +50,22 @@ func TestCacheLRUBounded(t *testing.T) {
 	}
 	// k0, k1 were evicted in LRU order; k2..k4 survive. Peek at the entries
 	// directly: a do() probe would itself reshuffle the LRU order.
-	c.mu.Lock()
+	sh := c.shards[0]
+	sh.mu.Lock()
 	for i, want := range []bool{false, false, true, true, true} {
 		key := fmt.Sprintf("k%d", i)
-		if _, ok := c.entries[key]; ok != want {
+		if _, ok := sh.entries[key]; ok != want {
 			t.Errorf("entry %s present=%v, want %v", key, ok, want)
 		}
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
+	if got := sh.evictions.Load(); got != 2 {
+		t.Errorf("evictions = %d, want 2", got)
+	}
 }
 
 func TestCacheTouchMovesToFront(t *testing.T) {
-	c := newResultCache(2)
+	c := newTestCache(t, 1, 2)
 	mustDo(t, c, "a", "a")
 	mustDo(t, c, "b", "b")
 	mustDo(t, c, "a", "a") // touch a: b is now LRU
@@ -61,7 +79,7 @@ func TestCacheTouchMovesToFront(t *testing.T) {
 }
 
 func TestCacheErrorsNotCached(t *testing.T) {
-	c := newResultCache(4)
+	c := newTestCache(t, 4, 16)
 	boom := errors.New("boom")
 	calls := 0
 	fn := func() ([]byte, error) {
@@ -87,7 +105,7 @@ func TestCacheErrorsNotCached(t *testing.T) {
 }
 
 func TestCacheSingleflightSharesOneRun(t *testing.T) {
-	c := newResultCache(4)
+	c := newTestCache(t, 4, 16)
 	const waiters = 8
 	var calls int
 	gate := make(chan struct{})
@@ -129,7 +147,7 @@ func TestCacheSingleflightSharesOneRun(t *testing.T) {
 }
 
 func TestCacheCoalescedWaiterHonoursContext(t *testing.T) {
-	c := newResultCache(4)
+	c := newTestCache(t, 4, 16)
 	started := make(chan struct{})
 	release := make(chan struct{})
 	leaderDone := make(chan struct{})
@@ -156,5 +174,75 @@ func TestCacheCoalescedWaiterHonoursContext(t *testing.T) {
 	// The leader's result still landed in the cache.
 	if oc := mustDo(t, c, "k", "v"); oc != outcomeHit {
 		t.Error("leader's result missing from cache after follower cancellation")
+	}
+}
+
+// TestCacheDisabled pins the successor semantics of the old capacity<=0
+// bug (satellite 4): a zero entry or bytes bound means "caching disabled",
+// not "insert then immediately evict". Every do runs the function, nothing
+// is ever stored, and singleflight still works.
+func TestCacheDisabled(t *testing.T) {
+	for _, cfg := range []cacheConfig{
+		{shards: 2, maxEntries: 0, maxBytes: 1 << 20},
+		{shards: 2, maxEntries: 16, maxBytes: 0},
+	} {
+		c, err := newShardedCache(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.disabled {
+			t.Fatalf("cfg %+v: cache not disabled", cfg)
+		}
+		calls := 0
+		for i := 0; i < 3; i++ {
+			body, oc, err := c.do(context.Background(), "k", func() ([]byte, error) {
+				calls++
+				return []byte("v"), nil
+			})
+			if err != nil || oc != outcomeMiss || string(body) != "v" {
+				t.Fatalf("disabled do %d: body=%q oc=%d err=%v", i, body, oc, err)
+			}
+		}
+		if calls != 3 {
+			t.Errorf("fn ran %d times, want 3 (no caching)", calls)
+		}
+		if c.len() != 0 {
+			t.Errorf("disabled cache stored %d entries", c.len())
+		}
+	}
+}
+
+// TestCacheRejectsBadConfig pins constructor validation: negative bounds,
+// negative TTL/SWR, SWR without TTL, TTL without a clock, unknown policy,
+// and a non-positive shard count are all errors.
+func TestCacheRejectsBadConfig(t *testing.T) {
+	cases := []cacheConfig{
+		{shards: 0, maxEntries: 1, maxBytes: 1},
+		{shards: 1, maxEntries: -1, maxBytes: 1},
+		{shards: 1, maxEntries: 1, maxBytes: -1},
+		{shards: 1, maxEntries: 1, maxBytes: 1, ttl: -1},
+		{shards: 1, maxEntries: 1, maxBytes: 1, swr: 1},
+		{shards: 1, maxEntries: 1, maxBytes: 1, ttl: 1},
+		{shards: 1, maxEntries: 1, maxBytes: 1, policy: "clairvoyant"},
+	}
+	for _, cfg := range cases {
+		if _, err := newShardedCache(cfg); err == nil {
+			t.Errorf("cfg %+v: accepted, want error", cfg)
+		}
+	}
+}
+
+// TestCacheShardRounding pins the power-of-two rounding of the shard count.
+func TestCacheShardRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {16, 16}, {17, 32},
+	} {
+		c, err := newShardedCache(cacheConfig{shards: tc.in, maxEntries: 8, maxBytes: 1 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c.shards) != tc.want {
+			t.Errorf("shards(%d) = %d, want %d", tc.in, len(c.shards), tc.want)
+		}
 	}
 }

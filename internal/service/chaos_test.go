@@ -103,8 +103,11 @@ func TestChaosStorm(t *testing.T) {
 	defer fault.Disable()
 
 	// A small queue in front of few run slots makes real sheds likely under
-	// 12 concurrent clients while conservation still has to balance.
-	s, err := New(Options{Addr: "127.0.0.1:0", MaxConcurrentRuns: 1, MaxQueuedRuns: 4, CacheEntries: 16})
+	// 12 concurrent clients while conservation still has to balance. Four
+	// cache shards put the storm on the sharded paths for real: keys spread
+	// over shards, so singleflight tables, eviction policies, and the
+	// per-shard counters all run concurrently under the fault spec.
+	s, err := New(Options{Addr: "127.0.0.1:0", MaxConcurrentRuns: 1, MaxQueuedRuns: 4, CacheEntries: 16, CacheShards: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,6 +197,22 @@ func TestChaosStorm(t *testing.T) {
 	if got := cache.Hits + cache.Misses + cache.Coalesced + svc.Sheds; got != svc.Requests {
 		t.Errorf("conservation violated: hits(%d) + misses(%d) + coalesced(%d) + sheds(%d) = %d, want requests(%d)",
 			cache.Hits, cache.Misses, cache.Coalesced, svc.Sheds, got, svc.Requests)
+	}
+	// The totals must be exactly the column sums of the per-shard
+	// breakdown — the conserved ledger survives sharding by construction,
+	// not by coincidence.
+	if len(cache.Shards) != 4 {
+		t.Fatalf("shard breakdown has %d entries, want 4", len(cache.Shards))
+	}
+	var sh shardStats
+	for _, st := range cache.Shards {
+		sh.Hits += st.Hits
+		sh.Misses += st.Misses
+		sh.Coalesced += st.Coalesced
+	}
+	if sh.Hits != cache.Hits || sh.Misses != cache.Misses || sh.Coalesced != cache.Coalesced {
+		t.Errorf("shard sums (%d/%d/%d) disagree with totals (%d/%d/%d)",
+			sh.Hits, sh.Misses, sh.Coalesced, cache.Hits, cache.Misses, cache.Coalesced)
 	}
 	if svc.QueueDepth != 0 {
 		t.Errorf("admission queue depth %d after storm, want 0", svc.QueueDepth)

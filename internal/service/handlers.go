@@ -165,5 +165,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleMetrics serves GET /metrics.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK,
-		s.met.snapshot(s.cache.len(), s.opts.CacheEntries, s.workers(), s.opts.MaxQueuedRuns, s.Draining()))
+		s.met.snapshot(s.cache.stats(), s.opts, s.workers(), s.Draining()))
 }

@@ -7,20 +7,21 @@ import (
 	"repro/internal/core"
 )
 
-// metrics aggregates the service's observability counters. Cache and run
-// counts are lock-free atomics on the hot path; the engine accumulators
-// (float seconds from Table.Metrics) are folded in under a mutex once per
+// metrics aggregates the service's observability counters. The cache
+// outcome counters (hits/misses/coalesced and the TTL/eviction detail)
+// live in the shards themselves — per-shard atomics, summed at snapshot
+// time — so the hot path never funnels through one shared counter word.
+// What remains here is the admission-level ledger (requests, sheds,
+// panics, queue depth), the run counts, and the engine accumulators
+// (float seconds from Table.Metrics), folded in under a mutex once per
 // completed run.
 type metrics struct {
-	cacheHits      atomic.Int64
-	cacheMisses    atomic.Int64
-	cacheCoalesced atomic.Int64
-
 	// Degradation counters. requests counts every run request admitted to
 	// the cache/run path; sheds counts the ones rejected by the bounded
 	// admission queue; panics counts handler panics the recovery middleware
 	// contained; queued is the current admission-queue depth (a gauge).
-	// Conservation: hits + misses + coalesced + sheds == requests.
+	// Conservation: hits + misses + coalesced + sheds == requests, where
+	// the first three are summed over shards.
 	requests atomic.Int64
 	sheds    atomic.Int64
 	panics   atomic.Int64
@@ -35,20 +36,6 @@ type metrics struct {
 	cells       int64
 	busySeconds float64
 	wallSeconds float64
-}
-
-// record folds an outcome into the cache counters.
-func (m *metrics) record(oc outcome) {
-	switch oc {
-	case outcomeHit:
-		m.cacheHits.Add(1)
-	case outcomeMiss:
-		m.cacheMisses.Add(1)
-	case outcomeCoalesced:
-		m.cacheCoalesced.Add(1)
-	case outcomeShed:
-		m.sheds.Add(1)
-	}
 }
 
 // recordRun folds one completed run's engine accounting into the totals.
@@ -67,8 +54,22 @@ type metricsSnapshot struct {
 		Hits      int64 `json:"hits"`
 		Misses    int64 `json:"misses"`
 		Coalesced int64 `json:"coalesced"`
-		Entries   int   `json:"entries"`
-		Capacity  int   `json:"capacity"`
+		// StaleServed counts hits answered with a body past its TTL inside
+		// the stale-while-revalidate window; Refreshes counts the
+		// background recomputations those hits triggered (at most one in
+		// flight per key); Evictions counts bound-pressure removals;
+		// Expired counts entries dropped at lookup past TTL+SWR.
+		StaleServed int64 `json:"stale_served"`
+		Refreshes   int64 `json:"refreshes"`
+		Evictions   int64 `json:"evictions"`
+		Expired     int64 `json:"expired"`
+		Entries     int   `json:"entries"`
+		Capacity    int   `json:"capacity"`
+		Bytes       int64 `json:"bytes"`
+		BytesCap    int64 `json:"bytes_capacity"`
+		// Shards is the per-shard breakdown; the totals above are its
+		// column sums, so conservation checks can be run per shard too.
+		Shards []shardStats `json:"shards"`
 	} `json:"cache"`
 	// Service is the degradation ledger. Requests counts run requests
 	// reaching the cache/run path; Sheds the ones rejected 503 by the full
@@ -101,19 +102,27 @@ type metricsSnapshot struct {
 	} `json:"engine"`
 }
 
-// snapshot assembles the exported view.
-func (m *metrics) snapshot(cacheEntries, cacheCapacity, workers, queueCapacity int, draining bool) metricsSnapshot {
+// snapshot assembles the exported view from the shard aggregate and the
+// server-level ledgers.
+func (m *metrics) snapshot(cs cacheStats, opts Options, workers int, draining bool) metricsSnapshot {
 	var s metricsSnapshot
-	s.Cache.Hits = m.cacheHits.Load()
-	s.Cache.Misses = m.cacheMisses.Load()
-	s.Cache.Coalesced = m.cacheCoalesced.Load()
-	s.Cache.Entries = cacheEntries
-	s.Cache.Capacity = cacheCapacity
+	s.Cache.Hits = cs.Hits
+	s.Cache.Misses = cs.Misses
+	s.Cache.Coalesced = cs.Coalesced
+	s.Cache.StaleServed = cs.StaleServed
+	s.Cache.Refreshes = cs.Refreshes
+	s.Cache.Evictions = cs.Evictions
+	s.Cache.Expired = cs.Expired
+	s.Cache.Entries = cs.Entries
+	s.Cache.Capacity = opts.CacheEntries
+	s.Cache.Bytes = cs.Bytes
+	s.Cache.BytesCap = opts.CacheBytes
+	s.Cache.Shards = cs.Shards
 	s.Service.Requests = m.requests.Load()
 	s.Service.Sheds = m.sheds.Load()
 	s.Service.Panics = m.panics.Load()
 	s.Service.QueueDepth = m.queued.Load()
-	s.Service.QueueCapacity = queueCapacity
+	s.Service.QueueCapacity = opts.MaxQueuedRuns
 	s.Service.Draining = draining
 	s.Runs.Started = m.runsStarted.Load()
 	s.Runs.Completed = m.runsCompleted.Load()

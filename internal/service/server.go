@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -49,8 +50,39 @@ var ErrOverloaded = errors.New("service: overloaded (run queue full)")
 type Options struct {
 	// Addr is the listen address for ListenAndServe (default ":8344").
 	Addr string
-	// CacheEntries bounds the result cache (default 512 entries).
+	// CacheEntries bounds the result cache's entry count (default 512,
+	// split across shards). A negative value disables caching entirely —
+	// requests still coalesce through singleflight, but nothing is stored.
+	// (The zero value must keep meaning "default", so "off" is the
+	// negative opt-in, mirroring RunTimeout; the cadaptived flag spells it
+	// `-cache 0` and maps it here.)
 	CacheEntries int
+	// CacheBytes bounds the sum of cached body lengths (default 64 MiB,
+	// split across shards). Bodies, not entries, are what memory is spent
+	// on — a dim-4096 E9 table is ~1000× an E1 smoke table. Negative
+	// disables caching, exactly as for CacheEntries.
+	CacheBytes int64
+	// CacheShards is the shard count, rounded up to a power of two
+	// (default: the smallest power of two >= 4×GOMAXPROCS). Each shard has
+	// its own mutex, singleflight table and eviction policy, so requests
+	// for different keys contend only 1/Nth as often.
+	CacheShards int
+	// CachePolicy names the per-shard eviction policy: "lru" (default) or
+	// "fifo" — the paging kernels, promoted from simulator to engine.
+	CachePolicy string
+	// CacheTTL bounds a cached body's age; 0 (the default) means entries
+	// never expire, which is sound because bodies are pure functions of
+	// their key. Operators cap replay age anyway when schema migrations or
+	// disk forensics matter.
+	CacheTTL time.Duration
+	// CacheSWR is the stale-while-revalidate window past CacheTTL: a body
+	// older than TTL but younger than TTL+SWR is served stale while a
+	// single background refresh recomputes it. Requires CacheTTL > 0.
+	CacheSWR time.Duration
+	// Clock injects the time source for TTL bookkeeping (default wall
+	// clock). Tests drive expiry deterministically through it; nothing
+	// else in the server reads time through Options.
+	Clock func() time.Time
 	// MaxConcurrentRuns bounds how many distinct experiment runs execute at
 	// once (default 2). Each run already fans out across the shared engine
 	// pool internally, so a small bound keeps the pool from thrashing
@@ -76,6 +108,18 @@ func (o Options) withDefaults() Options {
 	if o.CacheEntries == 0 {
 		o.CacheEntries = 512
 	}
+	if o.CacheBytes == 0 {
+		o.CacheBytes = 64 << 20
+	}
+	if o.CacheShards == 0 {
+		o.CacheShards = 4 * runtime.GOMAXPROCS(0)
+	}
+	if o.CachePolicy == "" {
+		o.CachePolicy = "lru"
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now //lint:ignore notime default TTL clock; results never read it, and tests inject a fake
+	}
 	if o.MaxConcurrentRuns == 0 {
 		o.MaxConcurrentRuns = 2
 	}
@@ -91,7 +135,7 @@ func (o Options) withDefaults() Options {
 // Server is the cadaptived HTTP service.
 type Server struct {
 	opts     Options
-	cache    *resultCache
+	cache    *shardedCache
 	sem      chan struct{} // bounds concurrent experiment runs
 	met      metrics
 	mux      *http.ServeMux
@@ -106,18 +150,36 @@ type Server struct {
 // New validates opts and assembles a server (not yet listening).
 func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
-	if opts.CacheEntries < 1 {
-		return nil, fmt.Errorf("service: CacheEntries %d < 1", opts.CacheEntries)
-	}
 	if opts.MaxConcurrentRuns < 1 {
 		return nil, fmt.Errorf("service: MaxConcurrentRuns %d < 1", opts.MaxConcurrentRuns)
 	}
 	if opts.MaxQueuedRuns < 1 {
 		return nil, fmt.Errorf("service: MaxQueuedRuns %d < 1 (shedding needs at least one queue slot)", opts.MaxQueuedRuns)
 	}
+	if opts.CacheShards < 1 {
+		return nil, fmt.Errorf("service: CacheShards %d < 1", opts.CacheShards)
+	}
+	// Negative bounds are the "caching off" opt-in; the cache constructor
+	// spells off as 0 and rejects negatives, so clamp here.
+	entries, bytes := int64(opts.CacheEntries), opts.CacheBytes
+	if entries < 0 || bytes < 0 {
+		entries, bytes = 0, 0
+	}
+	cache, err := newShardedCache(cacheConfig{
+		shards:     opts.CacheShards,
+		maxEntries: entries,
+		maxBytes:   bytes,
+		ttl:        opts.CacheTTL,
+		swr:        opts.CacheSWR,
+		policy:     opts.CachePolicy,
+		clock:      opts.Clock,
+	})
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
 		opts:  opts,
-		cache: newResultCache(opts.CacheEntries),
+		cache: cache,
 		sem:   make(chan struct{}, opts.MaxConcurrentRuns),
 		runFn: core.RunContext,
 	}
@@ -253,7 +315,14 @@ func (s *Server) runCached(reqCtx context.Context, id string, cfg core.Config) (
 	if oc == outcomeMiss && errors.Is(err, ErrOverloaded) {
 		oc = outcomeShed // the leader was shed at admission, it never ran
 	}
-	s.met.record(oc)
+	// Sheds are admission-level and live in the server ledger; everything
+	// else is attributed to the key's shard, whose counters /metrics sums
+	// back into the conserved totals.
+	if oc == outcomeShed {
+		s.met.sheds.Add(1)
+	} else {
+		s.cache.record(key, oc)
+	}
 	return body, key, oc, err
 }
 

@@ -695,8 +695,29 @@ func TestServiceMethodNotAllowed(t *testing.T) {
 }
 
 func TestServiceOptionsValidation(t *testing.T) {
-	if _, err := New(Options{CacheEntries: -1}); err == nil {
-		t.Error("negative CacheEntries accepted")
+	// Negative cache bounds are the documented "caching disabled" opt-in
+	// (mirroring RunTimeout < 0): they must be accepted, and the built
+	// cache must store nothing.
+	s0, err := New(Options{CacheEntries: -1})
+	if err != nil {
+		t.Fatalf("CacheEntries -1 (disabled) rejected: %v", err)
+	}
+	if !s0.cache.disabled {
+		t.Error("CacheEntries -1 did not disable caching")
+	}
+	if s0, err = New(Options{CacheBytes: -1}); err != nil {
+		t.Fatalf("CacheBytes -1 (disabled) rejected: %v", err)
+	} else if !s0.cache.disabled {
+		t.Error("CacheBytes -1 did not disable caching")
+	}
+	if _, err := New(Options{CacheShards: -1}); err == nil {
+		t.Error("negative CacheShards accepted")
+	}
+	if _, err := New(Options{CachePolicy: "clairvoyant"}); err == nil {
+		t.Error("unknown CachePolicy accepted")
+	}
+	if _, err := New(Options{CacheSWR: time.Second}); err == nil {
+		t.Error("CacheSWR without CacheTTL accepted")
 	}
 	if _, err := New(Options{MaxConcurrentRuns: -2}); err == nil {
 		t.Error("negative MaxConcurrentRuns accepted")

@@ -47,6 +47,15 @@ go test -race -short \
 echo "== go test -race (fault injection) =="
 go test -race -short ./internal/fault/
 
+echo "== go test -race (sharded result cache) =="
+# The sharded cache under concurrency: singleflight per shard, the
+# stale-while-revalidate background refresh, the differential replay against
+# the single-mutex oracle, and the eviction-policy adapters.
+go test -race -short \
+    ./internal/service/ \
+    -run 'TestCacheDifferential|TestCacheBytesBound|TestCacheTTL|TestCacheSWR|TestCacheShardRouting|TestCacheDisabled|TestServiceTablesIdenticalAcrossShardCounts' \
+    -count=1
+
 echo "== go test -race (parallel square replay) =="
 # The sharded replay paths: plan/execute determinism at explicit shard and
 # worker counts, the ledger-merge equivalence, and the finisher early-stop
@@ -85,5 +94,6 @@ go test -run '^$' -fuzz '^FuzzReadTSV$' -fuzztime 5s ./internal/profile/
 go test -run '^$' -fuzz '^FuzzParseIgnoreDirective$' -fuzztime 5s ./internal/lint/
 go test -run '^$' -fuzz '^FuzzKernelsMatchOracles$' -fuzztime 5s ./internal/paging/
 go test -run '^$' -fuzz '^FuzzParallelMatchesSerial$' -fuzztime 5s ./internal/paging/
+go test -run '^$' -fuzz '^FuzzShardRouting$' -fuzztime 5s ./internal/service/
 
 echo "CI OK"
