@@ -33,8 +33,14 @@ func main() {
 	os.Exit(code)
 }
 
+// jsonSchema versions the -format json output. Bump it on any change to
+// jsonReport/jsonDiagnostic shape or field semantics; consumers (and the
+// golden snapshot test) key off it.
+const jsonSchema = "cadaptivelint/2"
+
 // jsonReport is the -format json output schema.
 type jsonReport struct {
+	Schema      string           `json:"schema"`
 	Diagnostics []jsonDiagnostic `json:"diagnostics"`
 	Suppressed  []jsonDiagnostic `json:"suppressed"`
 }
@@ -86,7 +92,10 @@ func run(args []string, stdout io.Writer) (int, error) {
 			return 2, err
 		}
 	}
-	mod, err := lint.LoadModule(modRoot)
+	// Cached: repeated invocations in one process (tests, future multi-root
+	// drivers) re-use the type-checked tree instead of re-loading it per
+	// invocation path.
+	mod, err := lint.LoadModuleCached(modRoot)
 	if err != nil {
 		return 2, err
 	}
@@ -119,6 +128,7 @@ func run(args []string, stdout io.Writer) (int, error) {
 	}
 
 	if *format == "json" {
+		report.Schema = jsonSchema
 		if report.Diagnostics == nil {
 			report.Diagnostics = []jsonDiagnostic{}
 		}

@@ -3,12 +3,19 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/lint"
 )
+
+// update regenerates the golden JSON snapshot:
+//
+//	go test ./cmd/cadaptivelint -run TestJSONGolden -update
+var update = flag.Bool("update", false, "rewrite golden files instead of comparing")
 
 // miniModule is a self-contained module with one clean and one dirty
 // package, so CLI tests exercise the real load-lint-report path without
@@ -55,7 +62,10 @@ func TestDirtyModuleFindings(t *testing.T) {
 		"dirty/dirty.go",
 		"norand: import of math/rand",
 		"errcheck: result of fmt.Sscanf discarded",
-		"2 finding(s)",
+		"guarded/guarded.go",
+		"lockguard: n is guarded by \"mu\"",
+		"hotpath: allocation on hot path hot: new",
+		"4 finding(s)",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("text output missing %q:\n%s", want, out)
@@ -80,26 +90,74 @@ func TestJSONOutput(t *testing.T) {
 	if jerr := json.Unmarshal(buf.Bytes(), &rep); jerr != nil {
 		t.Fatalf("output is not valid JSON: %v\n%s", jerr, buf.String())
 	}
-	if len(rep.Diagnostics) != 2 {
-		t.Fatalf("%d diagnostics in JSON, want 2: %+v", len(rep.Diagnostics), rep.Diagnostics)
+	if rep.Schema != jsonSchema {
+		t.Errorf("schema %q, want %q", rep.Schema, jsonSchema)
+	}
+	if len(rep.Diagnostics) != 4 {
+		t.Fatalf("%d diagnostics in JSON, want 4: %+v", len(rep.Diagnostics), rep.Diagnostics)
 	}
 	checks := map[string]bool{}
 	for _, d := range rep.Diagnostics {
 		checks[d.Check] = true
-		if d.File != "dirty/dirty.go" {
-			t.Errorf("diagnostic file %q, want module-relative dirty/dirty.go", d.File)
+		if d.File != "dirty/dirty.go" && d.File != "guarded/guarded.go" {
+			t.Errorf("diagnostic file %q, want module-relative dirty/dirty.go or guarded/guarded.go", d.File)
 		}
 		if d.Line == 0 || d.Column == 0 || d.Message == "" {
 			t.Errorf("incomplete diagnostic: %+v", d)
 		}
 	}
-	if !checks["norand"] || !checks["errcheck"] {
-		t.Errorf("JSON diagnostics missing a check: %+v", rep.Diagnostics)
+	for _, name := range []string{"norand", "errcheck", "lockguard", "hotpath"} {
+		if !checks[name] {
+			t.Errorf("JSON diagnostics missing check %q: %+v", name, rep.Diagnostics)
+		}
 	}
-	// Both the dirty package's annotated Sscanf and the clean package's
-	// annotated append must surface as suppressions, not findings.
-	if len(rep.Suppressed) != 2 {
-		t.Errorf("%d suppressed entries, want 2: %+v", len(rep.Suppressed), rep.Suppressed)
+	// The dirty package's annotated Sscanf, the clean package's annotated
+	// append, and the guarded package's lockguard + hotpath suppressions
+	// must all surface as suppressions, not findings.
+	if len(rep.Suppressed) != 4 {
+		t.Errorf("%d suppressed entries, want 4: %+v", len(rep.Suppressed), rep.Suppressed)
+	}
+}
+
+// TestJSONGolden snapshots the entire -format json report over the mini
+// module. The output is schema-versioned and deterministically ordered
+// (packages in dependency-then-path order, diagnostics sorted by
+// file/line/col/check/message), so the golden bytes must be stable across
+// runs, machines, and -workers. Regenerate with -update after a deliberate
+// schema or fixture change.
+func TestJSONGolden(t *testing.T) {
+	root := miniModule(t)
+	var buf bytes.Buffer
+	code, err := run([]string{"-root", root, "-format", "json", root + "/..."}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1 (the fixture module is dirty on purpose)", code)
+	}
+
+	golden := filepath.Join("testdata", "golden_lint.json")
+	if *update {
+		if werr := os.WriteFile(golden, buf.Bytes(), 0o644); werr != nil {
+			t.Fatal(werr)
+		}
+	}
+	want, rerr := os.ReadFile(golden)
+	if rerr != nil {
+		t.Fatalf("missing golden file (run with -update to create it): %v", rerr)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("JSON report drifted from golden snapshot.\n--- got ---\n%s\n--- want ---\n%s\nIf the change is deliberate, regenerate with -update (and bump jsonSchema if the shape changed).",
+			buf.Bytes(), want)
+	}
+
+	// A second run must be byte-identical — the determinism claim itself.
+	var again bytes.Buffer
+	if code2, err2 := run([]string{"-root", root, "-format", "json", root + "/..."}, &again); code2 != 1 || err2 != nil {
+		t.Fatalf("second run: code %d, err %v", code2, err2)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("two identical invocations produced different JSON bytes")
 	}
 }
 

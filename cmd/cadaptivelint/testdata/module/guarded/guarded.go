@@ -1,0 +1,32 @@
+// Package guarded gives the mini module annotation-driven violations: one
+// lockguard and one hotpath finding survive, and one of each is
+// suppressed, so the JSON golden snapshot pins the full schema for the
+// flow-aware checks.
+package guarded
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	//lint:guardedby mu
+	n int
+}
+
+func (b *box) bump() {
+	b.n++ // lockguard: no lock held
+}
+
+func (b *box) read() int {
+	return b.n //lint:ignore lockguard fixture suppression, read is demo-racy on purpose
+}
+
+//lint:hotpath
+func hot() *box {
+	return new(box) // hotpath: definite allocation
+}
+
+//lint:hotpath
+func warm() []int {
+	//lint:ignore hotpath fixture suppression, one-time warm-up allocation
+	return make([]int, 8)
+}

@@ -65,7 +65,8 @@ func (p *Pool) Idle() int { return len(p.tokens) }
 
 var (
 	sharedMu sync.Mutex
-	shared   *Pool
+	//lint:guardedby sharedMu
+	shared *Pool
 )
 
 // Shared returns the process-wide pool used by the experiment runners. It

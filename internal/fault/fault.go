@@ -104,9 +104,12 @@ type Rule struct {
 // pointState is the per-point runtime: a locked xrand stream (the decision
 // sequence) plus observability counters.
 type pointState struct {
-	mu     sync.Mutex
+	mu sync.Mutex
+	// src is the decision stream; one draw per armed rule per Fire, in
+	// lock order, keeps the sequence deterministic under any schedule.
+	//lint:guardedby mu
 	src    *xrand.Source
-	rules  []Rule
+	rules  []Rule // armed before publication, read-only afterwards
 	calls  atomic.Int64
 	firing [3]atomic.Int64 // indexed by Mode
 }

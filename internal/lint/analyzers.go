@@ -1,8 +1,11 @@
 package lint
 
 // Analyzers returns every shipped check, in reporting-name order.
+// lockguard and hotpath are annotation-driven: they are no-ops in
+// packages that carry no //lint:guardedby / //lint:hotpath annotations,
+// so they need no scope entries.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{ErrCheck, MapOrder, MutexCopy, NoRand, NoRecover, NoTime}
+	return []*Analyzer{ErrCheck, HotPath, LockGuard, MapOrder, MutexCopy, NoRand, NoRecover, NoTime}
 }
 
 // DefaultScopes is the repository policy for where each check applies,

@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// The flow-aware checks are driven by three annotation verbs in the
+// //lint: namespace (no space after "//", matching //go: directives and
+// //lint:ignore):
+//
+//	//lint:guardedby <mutex>          on a struct field or package var:
+//	                                  accesses must hold the named mutex
+//	//lint:locked <mutex>[,<mutex>]   on a function: the named mutexes are
+//	                                  held throughout its body
+//	//lint:hotpath                    on a function: no definite allocation
+//	                                  sites in it or its module callees
+//
+// Like ignore directives, a //lint: comment that *tries* to be one of
+// these but is malformed — missing or extra arguments, a non-identifier
+// guard name — is reported under DirectiveCheck rather than silently
+// skipped, so a typo can never quietly disable a contract.
+const (
+	AnnGuardedBy = "guardedby"
+	AnnLocked    = "locked"
+	AnnHotPath   = "hotpath"
+)
+
+// Annotation is one parsed //lint:guardedby, //lint:locked, or
+// //lint:hotpath comment.
+type Annotation struct {
+	Kind string   // AnnGuardedBy, AnnLocked, or AnnHotPath
+	Args []string // guard names; nil for hotpath
+}
+
+// ParseAnnotation parses the raw text of a single comment (including its
+// "//" marker). ok reports whether text is a well-formed annotation; on
+// ok == false the returned Annotation is the zero value — no partial
+// results, mirroring ParseIgnoreDirective, so a broken annotation can
+// never half-apply.
+func ParseAnnotation(text string) (ann Annotation, ok bool) {
+	rest, found := strings.CutPrefix(text, directivePrefix)
+	if !found {
+		return Annotation{}, false
+	}
+	verb, args := splitVerb(rest)
+	switch verb {
+	case AnnHotPath:
+		if len(args) != 0 {
+			return Annotation{}, false // hotpath takes no arguments
+		}
+		return Annotation{Kind: AnnHotPath}, true
+	case AnnGuardedBy:
+		if len(args) != 1 || !validGuardName(args[0]) {
+			return Annotation{}, false
+		}
+		return Annotation{Kind: AnnGuardedBy, Args: args}, true
+	case AnnLocked:
+		if len(args) != 1 {
+			return Annotation{}, false
+		}
+		var guards []string
+		for _, g := range strings.Split(args[0], ",") {
+			if !validGuardName(g) {
+				return Annotation{}, false
+			}
+			guards = append(guards, g)
+		}
+		return Annotation{Kind: AnnLocked, Args: guards}, true
+	default:
+		return Annotation{}, false
+	}
+}
+
+// splitVerb splits the post-"//lint:" remainder into the directive verb
+// and its whitespace-separated arguments. The verb ends at the first
+// whitespace; "//lint:hotpathX" yields verb "hotpathX", which no case
+// matches, so it falls through to the generic malformed-directive report.
+func splitVerb(rest string) (verb string, args []string) {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", nil
+	}
+	// Reject "//lint: hotpath" (space between marker and verb): Fields
+	// would hide the gap, so check the raw remainder starts with the verb.
+	if !strings.HasPrefix(rest, fields[0]) {
+		return "", nil
+	}
+	return fields[0], fields[1:]
+}
+
+// validGuardName reports whether s is a plain Go identifier — the only
+// shape a guard reference may take. Dotted paths are deliberately not
+// allowed: a guard lives in the same struct (for fields), the same
+// package (for vars), or on the same receiver (for //lint:locked).
+func validGuardName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		b := s[i]
+		switch {
+		case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b == '_':
+		case b >= '0' && b <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// annotationsIn parses every annotation in a comment group. Malformed
+// //lint: comments are skipped here — collectDirectives already reported
+// them — so analyzers act only on well-formed annotations.
+func annotationsIn(cg *ast.CommentGroup) []Annotation {
+	if cg == nil {
+		return nil
+	}
+	var anns []Annotation
+	for _, c := range cg.List {
+		if ann, ok := ParseAnnotation(c.Text); ok {
+			anns = append(anns, ann)
+		}
+	}
+	return anns
+}
+
+// funcAnnotations returns the annotations attached to a function
+// declaration through its doc comment group.
+func funcAnnotations(fn *ast.FuncDecl) []Annotation {
+	return annotationsIn(fn.Doc)
+}
+
+// fieldAnnotations returns the annotations attached to a struct field or
+// ValueSpec: the doc group above it and the trailing comment on its line.
+func fieldAnnotations(doc, comment *ast.CommentGroup) []Annotation {
+	return append(annotationsIn(doc), annotationsIn(comment)...)
+}

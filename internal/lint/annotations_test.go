@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseAnnotation(t *testing.T) {
+	cases := []struct {
+		text string
+		ann  Annotation
+		ok   bool
+	}{
+		{"//lint:hotpath", Annotation{Kind: AnnHotPath}, true},
+		{"//lint:guardedby mu", Annotation{Kind: AnnGuardedBy, Args: []string{"mu"}}, true},
+		{"//lint:guardedby sharedMu", Annotation{Kind: AnnGuardedBy, Args: []string{"sharedMu"}}, true},
+		{"//lint:locked mu", Annotation{Kind: AnnLocked, Args: []string{"mu"}}, true},
+		{"//lint:locked mu,other", Annotation{Kind: AnnLocked, Args: []string{"mu", "other"}}, true},
+		{"//lint:guardedby\tmu", Annotation{Kind: AnnGuardedBy, Args: []string{"mu"}}, true},
+
+		{"//lint:hotpath extra", Annotation{}, false}, // hotpath takes no args
+		{"//lint:hotpathX", Annotation{}, false},      // glued verb
+		{"//lint:guardedby", Annotation{}, false},     // missing guard
+		{"//lint:guardedby mu extra", Annotation{}, false},
+		{"//lint:guardedby s.mu", Annotation{}, false}, // dotted paths rejected
+		{"//lint:guardedby 9mu", Annotation{}, false},  // not an identifier
+		{"//lint:locked", Annotation{}, false},
+		{"//lint:locked mu,", Annotation{}, false},             // trailing comma
+		{"//lint:locked ,mu", Annotation{}, false},             // leading comma
+		{"//lint:locked mu other", Annotation{}, false},        // two args, not a list
+		{"//lint:ignore errcheck reason", Annotation{}, false}, // ignore is not an annotation
+		{"// lint:hotpath", Annotation{}, false},               // space before marker
+		{"//lint: hotpath", Annotation{}, false},               // space after marker
+		{"//lint:typo whatever", Annotation{}, false},
+		{"not a comment", Annotation{}, false},
+		{"", Annotation{}, false},
+	}
+	for _, c := range cases {
+		ann, ok := ParseAnnotation(c.text)
+		if ok != c.ok {
+			t.Errorf("ParseAnnotation(%q) ok = %v, want %v", c.text, ok, c.ok)
+			continue
+		}
+		if !reflect.DeepEqual(ann, c.ann) {
+			t.Errorf("ParseAnnotation(%q) = %+v, want %+v", c.text, ann, c.ann)
+		}
+	}
+}
+
+// FuzzParseAnnotation mirrors the ignore-directive fuzzer: malformed input
+// must degrade to the zero Annotation with ok == false — never a panic,
+// never a partial parse that could half-apply a concurrency or allocation
+// contract.
+func FuzzParseAnnotation(f *testing.F) {
+	for _, seed := range []string{
+		"//lint:hotpath",
+		"//lint:guardedby mu",
+		"//lint:guardedby sharedMu",
+		"//lint:locked mu",
+		"//lint:locked mu,other",
+		"//lint:hotpath extra",
+		"//lint:hotpathX",
+		"//lint:guardedby",
+		"//lint:guardedby s.mu",
+		"//lint:locked mu,",
+		"//lint:locked ,mu",
+		"//lint:ignore errcheck reason",
+		"// lint:hotpath",
+		"//lint: hotpath",
+		"//lint:guardedby μu",
+		"//lint:locked mu\x00",
+		"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		ann, ok := ParseAnnotation(text)
+		if !ok {
+			if ann.Kind != "" || ann.Args != nil {
+				t.Fatalf("ParseAnnotation(%q): partial results %+v despite !ok", text, ann)
+			}
+			return
+		}
+		if !strings.HasPrefix(text, directivePrefix) {
+			t.Fatalf("ParseAnnotation(%q): accepted text outside the //lint: namespace", text)
+		}
+		switch ann.Kind {
+		case AnnHotPath:
+			if ann.Args != nil {
+				t.Fatalf("ParseAnnotation(%q): hotpath with args %v", text, ann.Args)
+			}
+		case AnnGuardedBy:
+			if len(ann.Args) != 1 {
+				t.Fatalf("ParseAnnotation(%q): guardedby with %d guards", text, len(ann.Args))
+			}
+		case AnnLocked:
+			if len(ann.Args) == 0 {
+				t.Fatalf("ParseAnnotation(%q): locked with no guards would assert nothing", text)
+			}
+		default:
+			t.Fatalf("ParseAnnotation(%q): unknown kind %q", text, ann.Kind)
+		}
+		for _, g := range ann.Args {
+			if !validGuardName(g) {
+				t.Fatalf("ParseAnnotation(%q): invalid guard name %q accepted", text, g)
+			}
+		}
+		// An accepted annotation must never also be an ignore directive:
+		// the two grammars partition the namespace.
+		if _, _, isIgnore := ParseIgnoreDirective(text); isIgnore {
+			t.Fatalf("ParseAnnotation(%q): text parses as both annotation and ignore directive", text)
+		}
+	})
+}

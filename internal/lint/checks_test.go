@@ -11,12 +11,14 @@ func TestErrCheck(t *testing.T)  { runTestdata(t, ErrCheck, "errcheck") }
 func TestMapOrder(t *testing.T)  { runTestdata(t, MapOrder, "maporder") }
 func TestMutexCopy(t *testing.T) { runTestdata(t, MutexCopy, "mutexcopy") }
 func TestNoRecover(t *testing.T) { runTestdata(t, NoRecover, "norecover") }
+func TestLockGuard(t *testing.T) { runTestdata(t, LockGuard, "lockguard") }
+func TestHotPath(t *testing.T)   { runTestdata(t, HotPath, "hotpath") }
 
 // TestAnalyzersRegistry keeps the registry aligned with the shipped checks
 // and their documented names (the names are load-bearing: scopes and
 // //lint:ignore directives key off them).
 func TestAnalyzersRegistry(t *testing.T) {
-	want := []string{"errcheck", "maporder", "mutexcopy", "norand", "norecover", "notime"}
+	want := []string{"errcheck", "hotpath", "lockguard", "maporder", "mutexcopy", "norand", "norecover", "notime"}
 	got := Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("%d analyzers, want %d", len(got), len(want))

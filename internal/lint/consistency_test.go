@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestHotpathAllocConsistency pins the contract between the //lint:hotpath
+// annotations and the allocation measurements that justify them: every
+// hotpath-annotated function must be covered by an AllocsPerRun(...)==0
+// test in its package, declared with an //allocguard:<name> marker on the
+// test, and every marker must name a function that still carries the
+// annotation. Either direction drifting — an annotation without a
+// measurement, or a stale marker after an annotation was removed — fails
+// here, so the static claim and the dynamic evidence cannot diverge.
+//
+// The scan is purely syntactic (no type checking): non-test files
+// contribute hotpath names rendered as funcDisplayName does
+// ("Recv.Name" / "Name"), _test.go files contribute //allocguard: markers
+// from the doc comments of test functions whose bodies call AllocsPerRun.
+func TestHotpathAllocConsistency(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	type pkgSets struct {
+		hotpath map[string]bool
+		guarded map[string]bool
+	}
+	pkgs := map[string]*pkgSets{}
+	sets := func(dir string) *pkgSets {
+		if pkgs[dir] == nil {
+			pkgs[dir] = &pkgSets{hotpath: map[string]bool{}, guarded: map[string]bool{}}
+		}
+		return pkgs[dir]
+	}
+
+	fset := token.NewFileSet()
+	walkErr := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Lint fixtures carry deliberate annotation violations and no
+			// alloc tests; they are inputs to the analyzers, not subjects of
+			// the repository-wide contract.
+			if d.Name() == "testdata" || strings.HasPrefix(d.Name(), ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if perr != nil {
+			return perr
+		}
+		dir := filepath.Dir(path)
+		if strings.HasSuffix(path, "_test.go") {
+			collectAllocGuards(t, f, sets(dir).guarded)
+			return nil
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			for _, ann := range funcAnnotations(fn) {
+				if ann.Kind == AnnHotPath {
+					sets(dir).hotpath[funcDisplayName(fn)] = true
+				}
+			}
+		}
+		return nil
+	})
+	if walkErr != nil {
+		t.Fatal(walkErr)
+	}
+
+	dirs := make([]string, 0, len(pkgs))
+	for dir := range pkgs {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+	for _, dir := range dirs {
+		rel, _ := filepath.Rel(root, dir)
+		s := pkgs[dir]
+		for _, name := range sortedKeys(s.hotpath) {
+			if !s.guarded[name] {
+				t.Errorf("%s: %s is annotated //lint:hotpath but no _test.go in the package has an '//allocguard:%s' marker on an AllocsPerRun test", rel, name, name)
+			}
+		}
+		for _, name := range sortedKeys(s.guarded) {
+			if !s.hotpath[name] {
+				t.Errorf("%s: stale '//allocguard:%s' marker: no //lint:hotpath function of that name in the package", rel, name)
+			}
+		}
+	}
+}
+
+// collectAllocGuards harvests //allocguard: markers from the doc comments of
+// functions in a test file, requiring the marked function's body to
+// actually call AllocsPerRun — a marker on a test that measures nothing
+// would make the contract vacuous.
+func collectAllocGuards(t *testing.T, f *ast.File, into map[string]bool) {
+	t.Helper()
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Doc == nil {
+			continue
+		}
+		var names []string
+		for _, c := range fn.Doc.List {
+			// gofmt normalizes the marker to "// allocguard:<name>" (the
+			// name's capital letter keeps it from qualifying as a //tool:
+			// directive); accept the unspaced spelling too.
+			rest, found := strings.CutPrefix(c.Text, "// allocguard:")
+			if !found {
+				rest, found = strings.CutPrefix(c.Text, "//allocguard:")
+			}
+			if !found {
+				continue
+			}
+			name := strings.TrimSpace(rest)
+			if name == "" || len(strings.Fields(name)) != 1 {
+				t.Errorf("%s: malformed marker %q (want // allocguard:<name>)", fn.Name.Name, c.Text)
+				continue
+			}
+			names = append(names, name)
+		}
+		if len(names) == 0 {
+			continue
+		}
+		if !callsAllocsPerRun(fn) {
+			t.Errorf("%s carries //allocguard: markers but never calls testing.AllocsPerRun", fn.Name.Name)
+			continue
+		}
+		for _, n := range names {
+			into[n] = true
+		}
+	}
+}
+
+func callsAllocsPerRun(fn *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "AllocsPerRun" {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -68,6 +68,8 @@ func runErrCheck(p *Pass) {
 				}
 			case *ast.AssignStmt:
 				checkAssign(p, n)
+			case *ast.ValueSpec:
+				checkValueSpec(p, n)
 			}
 			return true
 		})
@@ -76,7 +78,8 @@ func runErrCheck(p *Pass) {
 
 // checkAssign flags `v, _ := strconv.Atoi(s)`-shaped statements: a single
 // watched call on the right whose final (error) result lands in the blank
-// identifier.
+// identifier. When every result is blank (`_, _ = f()`) the message says
+// so — that shape discards the value too, not just the error.
 func checkAssign(p *Pass, as *ast.AssignStmt) {
 	if len(as.Rhs) != 1 {
 		return
@@ -93,7 +96,55 @@ func checkAssign(p *Pass, as *ast.AssignStmt) {
 	if !ok || last.Name != "_" {
 		return
 	}
+	if allBlankExprs(as.Lhs) {
+		p.Reportf(call.Pos(), "all results of %s discarded: the error must be checked", name)
+		return
+	}
 	p.Reportf(call.Pos(), "error from %s assigned to _: the error must be checked", name)
+}
+
+// checkValueSpec flags the declaration forms of the same discard:
+// `var v, _ = strconv.Atoi(s)` and `var _, _ = strconv.Atoi(s)` slipped
+// past checkAssign because a var declaration is a ValueSpec, not an
+// AssignStmt.
+func checkValueSpec(p *Pass, vs *ast.ValueSpec) {
+	if len(vs.Values) != 1 || len(vs.Names) < 1 {
+		return
+	}
+	call, ok := vs.Values[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, bad := watchedCall(p.Info, call)
+	if !bad {
+		return
+	}
+	if vs.Names[len(vs.Names)-1].Name != "_" {
+		return
+	}
+	all := true
+	for _, n := range vs.Names {
+		if n.Name != "_" {
+			all = false
+			break
+		}
+	}
+	if all {
+		p.Reportf(call.Pos(), "all results of %s discarded: the error must be checked", name)
+		return
+	}
+	p.Reportf(call.Pos(), "error from %s assigned to _: the error must be checked", name)
+}
+
+// allBlankExprs reports whether every expression is the blank identifier.
+func allBlankExprs(es []ast.Expr) bool {
+	for _, e := range es {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
 }
 
 // watchedCall resolves call's callee and reports whether discarding its

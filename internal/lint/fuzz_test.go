@@ -32,6 +32,13 @@ func FuzzParseIgnoreDirective(f *testing.F) {
 		"//lint:ignore norand ",
 		"lint:ignore norand reason",
 		"",
+		// Annotation verbs share the //lint: namespace: none of these may
+		// parse as an ignore directive, however the mutator mangles them.
+		"//lint:ignore lockguard approximate counter, torn reads acceptable",
+		"//lint:ignore hotpath one-time geometric growth, amortized",
+		"//lint:guardedby mu",
+		"//lint:locked mu,other",
+		"//lint:hotpath",
 	} {
 		f.Add(seed)
 	}

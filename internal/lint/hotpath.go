@@ -1,0 +1,432 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sync"
+)
+
+// HotPath reports definite allocation sites reachable from functions
+// annotated //lint:hotpath, walking the static call graph within the
+// module.
+//
+// The sites it classifies: new, make, &composite-literal, append inside a
+// loop (growth without preallocated capacity), string<->[]byte/[]rune
+// conversions, function literals (closure allocation), and interface
+// boxing — passing or converting a concrete non-pointer-shaped value to
+// an interface. Constants and nil never box; pointers, channels, maps,
+// and funcs are pointer-shaped and box allocation-free.
+//
+// The walk stops at three documented boundaries (false-negative shapes,
+// see DESIGN.md): calls into the standard library, dynamic calls
+// (interface methods, function values), and callees that are themselves
+// annotated //lint:hotpath — the latter are independently checked where
+// they are declared, so the contract composes instead of double-reporting.
+// Allocation sites inside same-package callees are reported at the site;
+// sites inside other packages' callees are reported at the call edge in
+// the current package, because a suppression must live in the package
+// whose pass reports the finding.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "no definite allocation sites reachable from //lint:hotpath functions",
+	Run:  runHotPath,
+}
+
+// indexedFunc is one module function the call-graph walk can enter.
+type indexedFunc struct {
+	decl    *ast.FuncDecl
+	pkg     *types.Package
+	info    *types.Info
+	fset    *token.FileSet
+	hotpath bool // annotated itself: a walk boundary
+}
+
+// funcIndex maps every declared function in scope to its body, keyed by
+// the types object (shared across packages because LoadModule resolves
+// module-internal imports to already-checked packages).
+type funcIndex map[types.Object]*indexedFunc
+
+var (
+	funcIndexMu    sync.Mutex
+	funcIndexCache = map[*Module]funcIndex{}
+)
+
+// buildFuncIndex indexes every FuncDecl the walk may enter: the whole
+// module when the package was loaded through LoadModule, else just the
+// current package (the testdata harness loads packages standalone).
+// Module indexes are memoized — every package's pass shares one.
+func buildFuncIndex(pass *Pass) funcIndex {
+	if pass.Mod == nil {
+		idx := funcIndex{}
+		indexPackage(idx, pass.Fset, pass.Files, pass.Info, pass.Pkg)
+		return idx
+	}
+	funcIndexMu.Lock()
+	defer funcIndexMu.Unlock()
+	if idx, ok := funcIndexCache[pass.Mod]; ok {
+		return idx
+	}
+	idx := funcIndex{}
+	for _, p := range pass.Mod.Pkgs {
+		indexPackage(idx, p.Fset, p.Files, p.Info, p.Types)
+	}
+	funcIndexCache[pass.Mod] = idx
+	return idx
+}
+
+func indexPackage(idx funcIndex, fset *token.FileSet, files []*ast.File, info *types.Info, pkg *types.Package) {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj := info.Defs[fn.Name]
+			if obj == nil {
+				continue
+			}
+			hot := false
+			for _, ann := range funcAnnotations(fn) {
+				if ann.Kind == AnnHotPath {
+					hot = true
+				}
+			}
+			idx[obj] = &indexedFunc{decl: fn, pkg: pkg, info: info, fset: fset, hotpath: hot}
+		}
+	}
+}
+
+func runHotPath(pass *Pass) {
+	idx := buildFuncIndex(pass)
+	w := &hotWalker{
+		pass:     pass,
+		idx:      idx,
+		visited:  map[types.Object]bool{},
+		reported: map[token.Pos]bool{},
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj := pass.Info.Defs[fn.Name]
+			ixf, ok := idx[obj]
+			if !ok || !ixf.hotpath {
+				continue
+			}
+			w.walk(obj, funcDisplayName(fn))
+		}
+	}
+}
+
+// hotWalker carries one package pass's BFS over the call graph. visited
+// is shared across roots: a helper reached from two hot paths is checked
+// once, and its findings name the first root that reached it (roots are
+// processed in file order, so attribution is deterministic).
+type hotWalker struct {
+	pass     *Pass
+	idx      funcIndex
+	visited  map[types.Object]bool
+	reported map[token.Pos]bool
+}
+
+type hotEdge struct {
+	obj      types.Object
+	root     string    // display name of the annotated root
+	callSite token.Pos // edge position in the pass's package, NoPos for the root itself
+}
+
+func (w *hotWalker) walk(rootObj types.Object, rootName string) {
+	queue := []hotEdge{{obj: rootObj, root: rootName}}
+	for len(queue) > 0 {
+		e := queue[0]
+		queue = queue[1:]
+		if w.visited[e.obj] {
+			continue
+		}
+		w.visited[e.obj] = true
+		ixf := w.idx[e.obj]
+		if ixf == nil {
+			continue
+		}
+		queue = append(queue, w.checkBody(ixf, e)...)
+	}
+}
+
+// checkBody scans one function body for allocation sites and returns the
+// call edges to enqueue. samePkg tells whether findings may be reported
+// at their own position (same package as the pass) or must be folded back
+// onto the call edge that left the package.
+func (w *hotWalker) checkBody(ixf *indexedFunc, e hotEdge) []hotEdge {
+	samePkg := ixf.pkg == w.pass.Pkg
+	var edges []hotEdge
+	body := ixf.decl.Body
+	fnName := funcDisplayName(ixf.decl)
+
+	report := func(pos token.Pos, class string) {
+		if samePkg {
+			if w.reported[pos] {
+				return
+			}
+			w.reported[pos] = true
+			if e.callSite == token.NoPos && fnName == e.root {
+				w.pass.Reportf(pos, "allocation on hot path %s: %s", e.root, class)
+			} else {
+				w.pass.Reportf(pos, "allocation on hot path %s (in %s): %s", e.root, fnName, class)
+			}
+			return
+		}
+		// Foreign package: report at the call edge in the pass's package,
+		// where a //lint:ignore can actually cover it.
+		if w.reported[e.callSite] {
+			return
+		}
+		w.reported[e.callSite] = true
+		w.pass.Reportf(e.callSite, "allocation on hot path %s: call into %s.%s reaches %s at %s",
+			e.root, ixf.pkg.Name(), fnName, class, ixf.fset.Position(pos))
+	}
+
+	var loopDepth int
+	var scan func(n ast.Node) bool
+	scan = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loopDepth++
+			ast.Inspect(loopBody(n), scan)
+			loopDepth--
+			// Init/Cond/Post/X run outside (or once per iteration —
+			// conservative either way); walk them at current depth.
+			for _, sub := range loopHeader(n) {
+				if sub != nil {
+					ast.Inspect(sub, scan)
+				}
+			}
+			return false
+		case *ast.FuncLit:
+			report(n.Pos(), "closure allocation (func literal)")
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					report(n.Pos(), "&composite literal")
+				}
+			}
+		case *ast.CallExpr:
+			w.checkCall(ixf, n, loopDepth, report)
+			if edge := w.callEdge(ixf, n, e); edge != nil {
+				edges = append(edges, *edge)
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, scan)
+	return edges
+}
+
+// checkCall classifies one call expression: builtin allocators,
+// string conversions, and interface boxing of its arguments.
+func (w *hotWalker) checkCall(ixf *indexedFunc, call *ast.CallExpr, loopDepth int, report func(token.Pos, string)) {
+	info := ixf.info
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "new":
+				report(call.Pos(), "new")
+			case "make":
+				report(call.Pos(), "make")
+			case "append":
+				if loopDepth > 0 {
+					report(call.Pos(), "append inside loop (growth without preallocated cap)")
+				}
+			}
+			return
+		}
+	}
+	// Type conversions: string <-> []byte / []rune copy.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type
+		if argTV, ok := info.Types[call.Args[0]]; ok {
+			if stringByteConversion(to, argTV.Type) {
+				report(call.Pos(), "string<->[]byte conversion")
+			}
+		}
+		return
+	}
+	// Interface boxing at the call site: a concrete non-pointer-shaped,
+	// non-constant argument passed to an interface parameter.
+	sig := callSignature(info, call)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramTypeAt(sig, i, call)
+		if pt == nil {
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		atv, ok := info.Types[arg]
+		if !ok || atv.Value != nil || atv.IsNil() {
+			continue // constants and nil never box
+		}
+		at := atv.Type
+		if at == nil || types.IsInterface(at) || pointerShaped(at) {
+			continue
+		}
+		report(arg.Pos(), fmt.Sprintf("interface boxing of %s argument", at.String()))
+	}
+}
+
+// callEdge resolves call to a module function the walk should enter, or
+// nil for boundaries: builtins, dynamic calls, the standard library, and
+// callees independently checked under their own //lint:hotpath.
+func (w *hotWalker) callEdge(ixf *indexedFunc, call *ast.CallExpr, e hotEdge) *hotEdge {
+	fn := calleeFunc(ixf.info, call)
+	if fn == nil {
+		return nil
+	}
+	target, ok := w.idx[types.Object(fn)]
+	if !ok || target.hotpath {
+		return nil
+	}
+	site := e.callSite
+	if ixf.pkg == w.pass.Pkg {
+		// The edge leaves from the pass's package: record this call site
+		// as the anchor for findings in foreign callees.
+		site = call.Pos()
+	}
+	return &hotEdge{obj: types.Object(fn), root: e.root, callSite: site}
+}
+
+func loopBody(n ast.Node) ast.Node {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		return n.Body
+	case *ast.RangeStmt:
+		return n.Body
+	}
+	return nil
+}
+
+func loopHeader(n ast.Node) []ast.Node {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		out := []ast.Node{}
+		if n.Init != nil {
+			out = append(out, n.Init)
+		}
+		if n.Cond != nil {
+			out = append(out, n.Cond)
+		}
+		if n.Post != nil {
+			out = append(out, n.Post)
+		}
+		return out
+	case *ast.RangeStmt:
+		return []ast.Node{n.X}
+	}
+	return nil
+}
+
+// callSignature returns the signature of the called function or method,
+// nil when the callee is a builtin or a type conversion.
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.(*types.Signature)
+	return sig
+}
+
+// paramTypeAt returns the type of the parameter receiving argument i,
+// unrolling variadics; nil for f(slice...) pass-through.
+func paramTypeAt(sig *types.Signature, i int, call *ast.CallExpr) types.Type {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= params.Len()-1 {
+		if call.Ellipsis != token.NoPos {
+			return nil // passing an existing slice through: no per-element boxing here
+		}
+		last := params.At(params.Len() - 1).Type()
+		if s, ok := last.(*types.Slice); ok {
+			return s.Elem()
+		}
+		return nil
+	}
+	if i >= params.Len() {
+		return nil
+	}
+	return params.At(i).Type()
+}
+
+// pointerShaped reports whether values of t fit in a pointer word and box
+// into interfaces without allocating: pointers, channels, maps, funcs,
+// unsafe.Pointer.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// stringByteConversion reports whether converting from -> to copies
+// between string and []byte/[]rune.
+func stringByteConversion(to, from types.Type) bool {
+	return (isStringType(to) && isByteOrRuneSlice(from)) ||
+		(isByteOrRuneSlice(to) && isStringType(from))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Kind() == types.Byte || b.Kind() == types.Uint8 ||
+		b.Kind() == types.Rune || b.Kind() == types.Int32
+}
+
+// funcDisplayName renders "Name" for functions and "Recv.Name" for
+// methods, pointer receivers stripped.
+func funcDisplayName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	t := fn.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+			continue
+		case *ast.ParenExpr:
+			t = tt.X
+			continue
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+			continue
+		}
+		break
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fn.Name.Name
+	}
+	return fn.Name.Name
+}

@@ -94,6 +94,10 @@ func validCheckName(s string) bool {
 
 // collectDirectives walks a file's comments, returning its well-formed
 // ignore directives and a diagnostic for every malformed //lint: comment.
+// Well-formed annotations (//lint:guardedby, //lint:locked, //lint:hotpath)
+// are recognized and skipped here — the lockguard and hotpath analyzers
+// read them straight off the AST — while malformed variants of any verb
+// are reported like every other broken //lint: comment.
 func collectDirectives(fset *token.FileSet, f *ast.File) (ds []ignoreDirective, malformed []Diagnostic) {
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
@@ -103,10 +107,13 @@ func collectDirectives(fset *token.FileSet, f *ast.File) (ds []ignoreDirective, 
 			pos := fset.Position(c.Pos())
 			checks, reason, ok := ParseIgnoreDirective(c.Text)
 			if !ok {
+				if _, isAnn := ParseAnnotation(c.Text); isAnn {
+					continue
+				}
 				malformed = append(malformed, Diagnostic{
 					Check:   DirectiveCheck,
 					Pos:     pos,
-					Message: "malformed //lint: directive (want //lint:ignore <check>[,<check>] <reason>): " + c.Text,
+					Message: "malformed //lint: directive (want //lint:ignore <check>[,<check>] <reason>, //lint:guardedby <mutex>, //lint:locked <mutex>[,<mutex>], or //lint:hotpath): " + c.Text,
 				})
 				continue
 			}

@@ -98,8 +98,8 @@ func TestMalformedDirectivesAreReported(t *testing.T) {
 			t.Errorf("unexpected check %q: %s", d.Check, d)
 		}
 	}
-	if malformed != 6 {
-		t.Errorf("%d malformed-directive diagnostics, want 6 (one per bad comment)", malformed)
+	if malformed != 11 {
+		t.Errorf("%d malformed-directive diagnostics, want 11 (one per bad comment)", malformed)
 	}
 	if errchecks != 1 {
 		t.Errorf("%d errcheck diagnostics, want 1 (the Atoi under a reason-less directive must still fire)", errchecks)

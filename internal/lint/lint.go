@@ -15,9 +15,17 @@ import (
 const DirectiveCheck = "directive"
 
 // Diagnostic is one finding, positioned for file:line:col reporting.
+//
+// Anchor is an optional second position a suppression directive may attach
+// to. The flow-aware checks use it to tie a finding back to the
+// declaration it is *about*: lockguard reports an unguarded access at the
+// access site but anchors it at the guarded field's declaration, so one
+// //lint:ignore on the field line can waive every finding for that field
+// instead of scattering directives across call sites.
 type Diagnostic struct {
 	Check   string         `json:"check"`
 	Pos     token.Position `json:"-"`
+	Anchor  token.Position `json:"-"`
 	Message string         `json:"message"`
 }
 
@@ -34,13 +42,18 @@ type Analyzer struct {
 	Run  func(*Pass)
 }
 
-// Pass carries one analyzer's view of one package.
+// Pass carries one analyzer's view of one package. Mod is the whole
+// module when the package was loaded through LoadModule, or nil for
+// single-package loads (LoadDir, the testdata harness); module-aware
+// analyzers (hotpath's call-graph walk) degrade to package-local analysis
+// when it is absent.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	Mod      *Module
 
 	diags []Diagnostic
 }
@@ -50,6 +63,17 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	p.diags = append(p.diags, Diagnostic{
 		Check:   p.Analyzer.Name,
 		Pos:     p.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportfAnchored records a finding at pos that a suppression directive at
+// anchor (a related declaration) also covers.
+func (p *Pass) ReportfAnchored(pos, anchor token.Pos, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{
+		Check:   p.Analyzer.Name,
+		Pos:     p.Fset.Position(pos),
+		Anchor:  p.Fset.Position(anchor),
 		Message: fmt.Sprintf(format, args...),
 	})
 }
@@ -122,6 +146,7 @@ func RunPackage(pkg *Package, analyzers []*Analyzer, scopes map[string]Scope) Re
 			Files:    pkg.Files,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			Mod:      pkg.Mod,
 		}
 		a.Run(pass)
 		for _, d := range pass.diags {
@@ -140,6 +165,9 @@ func RunPackage(pkg *Package, analyzers []*Analyzer, scopes map[string]Scope) Re
 func suppressed(directives []ignoreDirective, d Diagnostic) bool {
 	for _, dir := range directives {
 		if dir.file == d.Pos.Filename && dir.suppresses(d.Check, d.Pos.Line) {
+			return true
+		}
+		if d.Anchor.IsValid() && dir.file == d.Anchor.Filename && dir.suppresses(d.Check, d.Anchor.Line) {
 			return true
 		}
 	}

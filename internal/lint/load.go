@@ -12,9 +12,12 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Package is one parsed, type-checked, non-test package of the module.
+// Mod points back at the module that loaded it (nil under LoadDir), so
+// module-aware analyzers can walk call edges into sibling packages.
 type Package struct {
 	Path  string // full import path, e.g. "repro/internal/core"
 	Rel   string // module-relative path, "" for the module root
@@ -23,6 +26,7 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	Mod   *Module
 }
 
 // Module is the whole repository, loaded once. All packages share one
@@ -49,6 +53,13 @@ func (m *Module) Lookup(rel string) *Package {
 // hidden directories, and _-prefixed directories are skipped — testdata
 // packages deliberately contain the violations the checks hunt for.
 func LoadModule(root string) (*Module, error) {
+	return loadModuleWith(root, stdImporter())
+}
+
+// loadModuleWith is LoadModule with an explicit stdlib importer, split out
+// so the loader benchmark can measure the shared importer against a fresh
+// one per load (the pre-cache behavior).
+func loadModuleWith(root string, std types.Importer) (*Module, error) {
 	root, err := filepath.Abs(root)
 	if err != nil {
 		return nil, err
@@ -126,7 +137,7 @@ func LoadModule(root string) (*Module, error) {
 	checked := map[string]*types.Package{}
 	imp := &moduleImporter{
 		checked: checked,
-		source:  importer.ForCompiler(fset, "source", nil),
+		source:  std,
 	}
 	order := make([]string, 0, len(byPath))
 	for path := range byPath {
@@ -154,6 +165,7 @@ func LoadModule(root string) (*Module, error) {
 			if err := typeCheck(p.pkg, imp); err != nil {
 				return nil, err
 			}
+			p.pkg.Mod = mod
 			checked[path] = p.pkg.Types
 			mod.Pkgs = append(mod.Pkgs, p.pkg)
 			progress = true
@@ -187,13 +199,82 @@ func LoadDir(dir string) (*Package, error) {
 	}
 	imp := &moduleImporter{
 		checked: map[string]*types.Package{},
-		source:  importer.ForCompiler(fset, "source", nil),
+		source:  stdImporter(),
 	}
 	if err := typeCheck(pkg, imp); err != nil {
 		return nil, err
 	}
 	return pkg, nil
 }
+
+// stdImporter returns the process-wide standard-library source importer.
+// Building one is the expensive part of a load — it parses and checks
+// every stdlib package the module touches from source — so all loads in a
+// process share one instance, and repeat imports hit its internal cache.
+// It owns a dedicated FileSet: stdlib positions are never rendered in
+// diagnostics (analyzers only report positions of module AST nodes), so
+// divorcing them from the module FileSet is safe.
+func stdImporter() types.Importer {
+	stdImpOnce.Do(func() {
+		stdImp = &lockedImporter{imp: freshStdImporter()}
+	})
+	return stdImp
+}
+
+var (
+	stdImpOnce sync.Once
+	stdImp     types.Importer
+)
+
+// freshStdImporter builds an uncached stdlib source importer with its own
+// FileSet. The loader benchmark uses it directly to measure what every
+// load used to pay before stdImporter existed.
+func freshStdImporter() types.Importer {
+	return importer.ForCompiler(token.NewFileSet(), "source", nil)
+}
+
+// lockedImporter serializes Import calls: the go/importer source importer
+// caches internally but is not documented as safe for concurrent use.
+type lockedImporter struct {
+	mu  sync.Mutex
+	imp types.Importer
+}
+
+func (l *lockedImporter) Import(path string) (*types.Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.imp.Import(path)
+}
+
+// LoadModuleCached memoizes LoadModule by absolute root path, so a driver
+// that resolves several package patterns against the same module (the
+// cadaptivelint CLI with ./... plus explicit paths) type-checks the tree
+// once per process instead of once per pattern. Errors are memoized too:
+// a broken tree fails the same way for every caller.
+func LoadModuleCached(root string) (*Module, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modCacheMu.Lock()
+	defer modCacheMu.Unlock()
+	if e, ok := modCache[abs]; ok {
+		return e.mod, e.err
+	}
+	mod, err := LoadModule(abs)
+	modCache[abs] = modCacheEntry{mod: mod, err: err}
+	return mod, err
+}
+
+type modCacheEntry struct {
+	mod *Module
+	err error
+}
+
+var (
+	modCacheMu sync.Mutex
+	modCache   = map[string]modCacheEntry{}
+)
 
 // parseDir parses the non-test Go files of dir (with comments, which the
 // suppression directives live in), sorted by file name for determinism.

@@ -1,0 +1,633 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockGuard reports accesses to annotated fields and package variables
+// that are not provably made under their guarding mutex.
+//
+// A struct field (or package var) annotated //lint:guardedby mu may only
+// be read or written where the access is preceded on every path, within
+// the same function, by mu.Lock() or mu.RLock() on the same base path —
+// or where the enclosing function is annotated //lint:locked mu, asserting
+// its callers hold the lock.
+//
+// The analysis is a straight-line held-lock-set simulation, not a full
+// CFG: branches fork a copy of the held set and rejoin by intersecting
+// the branches that can fall through (a branch ending in return or panic
+// never reaches the join, so unlock-and-return-early does not drop the
+// lock for the code after the branch), loop bodies are checked against
+// the loop-entry set, and function
+// literals start from an empty set (they may run on another goroutine or
+// after the frame returns). defer mu.Unlock() does not release the lock
+// for the remainder of the body — that is exactly the semantics the
+// pattern exists for. Known false-negative shapes are documented in
+// DESIGN.md: lock identity is matched by rendered base path (aliasing two
+// names for one shard defeats it), //lint:locked matches the guard by
+// name regardless of which instance the caller locked, and accesses from
+// other packages to exported guarded fields are not seen (each package's
+// pass only knows its own annotations).
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "accesses to //lint:guardedby fields must hold the named mutex",
+	Run:  runLockGuard,
+}
+
+// guardSpec records one guarded variable: the guard's name, the position
+// of the guarded declaration (findings anchor there, so one //lint:ignore
+// on the declaration line waives every access finding for it), and
+// whether the variable is package-level rather than a struct field.
+type guardSpec struct {
+	guard  string
+	anchor token.Pos
+	pkgVar bool
+}
+
+func runLockGuard(pass *Pass) {
+	guarded := collectGuards(pass)
+	if len(guarded) == 0 {
+		return
+	}
+	ls := &lockState{pass: pass, guarded: guarded}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ls.locked = map[string]bool{}
+			for _, ann := range funcAnnotations(fn) {
+				if ann.Kind == AnnLocked {
+					for _, g := range ann.Args {
+						ls.locked[g] = true
+					}
+				}
+			}
+			ls.stmt(fn.Body, lockSet{})
+		}
+	}
+}
+
+// collectGuards resolves every //lint:guardedby annotation in the package
+// to the *types.Var it guards, validating that the named guard exists and
+// is a sync.Mutex or sync.RWMutex (directly or behind a pointer).
+func collectGuards(pass *Pass) map[*types.Var]guardSpec {
+	guarded := map[*types.Var]guardSpec{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				for _, ann := range fieldAnnotations(field.Doc, field.Comment) {
+					if ann.Kind != AnnGuardedBy {
+						continue
+					}
+					guard := ann.Args[0]
+					if len(field.Names) == 0 {
+						pass.Reportf(field.Pos(), "//lint:guardedby on an embedded field is not supported; name the field")
+						continue
+					}
+					if !structHasMutex(pass.Info, st, guard) {
+						pass.Reportf(field.Pos(), "//lint:guardedby %s: no sync.Mutex/RWMutex field %q in this struct", guard, guard)
+						continue
+					}
+					for _, name := range field.Names {
+						if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+							guarded[v] = guardSpec{guard: guard, anchor: field.Pos()}
+						}
+					}
+				}
+			}
+			return true
+		})
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				doc := vs.Doc
+				if doc == nil && len(gd.Specs) == 1 {
+					doc = gd.Doc
+				}
+				for _, ann := range fieldAnnotations(doc, vs.Comment) {
+					if ann.Kind != AnnGuardedBy {
+						continue
+					}
+					guard := ann.Args[0]
+					gobj, _ := pass.Pkg.Scope().Lookup(guard).(*types.Var)
+					if gobj == nil || !isMutexType(gobj.Type()) {
+						pass.Reportf(vs.Pos(), "//lint:guardedby %s: no package-level sync.Mutex/RWMutex var %q", guard, guard)
+						continue
+					}
+					for _, name := range vs.Names {
+						if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+							guarded[v] = guardSpec{guard: guard, anchor: vs.Pos(), pkgVar: true}
+						}
+					}
+				}
+			}
+		}
+	}
+	return guarded
+}
+
+func structHasMutex(info *types.Info, st *ast.StructType, name string) bool {
+	for _, f := range st.Fields.List {
+		for _, n := range f.Names {
+			if n.Name == name {
+				if tv, ok := info.Types[f.Type]; ok {
+					return isMutexType(tv.Type)
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex, directly
+// or behind one level of pointer.
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// lockSet is the set of held locks, keyed by rendered path: "sh.mu" for a
+// field guard reached through base sh, "sharedMu" for a package-level
+// guard.
+type lockSet map[string]bool
+
+func (s lockSet) clone() lockSet {
+	out := make(lockSet, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func intersectLocks(a, b lockSet) lockSet {
+	out := lockSet{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// lockState carries one function's simulation: the package-wide guarded
+// map plus the //lint:locked guard names of the current function.
+type lockState struct {
+	pass    *Pass
+	guarded map[*types.Var]guardSpec
+	locked  map[string]bool
+}
+
+// stmt simulates s starting from held. It returns the held set after s
+// and whether every path through s terminates (return or panic): a
+// terminated branch contributes nothing to a join — its held set can
+// never reach the statement after the branch, so e.g. the ubiquitous
+// "unlock-and-return early, keep going locked otherwise" pattern does not
+// poison the post-branch set.
+func (ls *lockState) stmt(s ast.Stmt, held lockSet) (lockSet, bool) {
+	switch s := s.(type) {
+	case nil:
+		return held, false
+	case *ast.BlockStmt:
+		return ls.stmtList(s.List, held)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok && isPanicCall(ls.pass.Info, call) {
+			held = ls.expr(s.X, held)
+			return held, true
+		}
+		return ls.expr(s.X, held), false
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			held = ls.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			held = ls.expr(e, held)
+		}
+		return held, false
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						held = ls.expr(e, held)
+					}
+				}
+			}
+		}
+		return held, false
+	case *ast.IfStmt:
+		held, _ = ls.stmt(s.Init, held)
+		held = ls.expr(s.Cond, held)
+		j := newJoin()
+		then, tterm := ls.stmt(s.Body, held.clone())
+		j.add(then, tterm)
+		if s.Else != nil {
+			other, oterm := ls.stmt(s.Else, held.clone())
+			j.add(other, oterm)
+		} else {
+			j.add(held, false) // condition false: fall through untouched
+		}
+		return j.result(held)
+	case *ast.ForStmt:
+		held, _ = ls.stmt(s.Init, held)
+		if s.Cond != nil {
+			held = ls.expr(s.Cond, held)
+		}
+		body, bterm := ls.stmt(s.Body, held.clone())
+		if !bterm {
+			body, _ = ls.stmt(s.Post, body)
+			return intersectLocks(held, body), false
+		}
+		return held, false // body always returns: only the 0-iteration path continues
+	case *ast.RangeStmt:
+		held = ls.expr(s.X, held)
+		if s.Key != nil {
+			held = ls.expr(s.Key, held)
+		}
+		if s.Value != nil {
+			held = ls.expr(s.Value, held)
+		}
+		body, bterm := ls.stmt(s.Body, held.clone())
+		if !bterm {
+			return intersectLocks(held, body), false
+		}
+		return held, false
+	case *ast.SwitchStmt:
+		held, _ = ls.stmt(s.Init, held)
+		if s.Tag != nil {
+			held = ls.expr(s.Tag, held)
+		}
+		j := newJoin()
+		hasDefault := false
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			branch := held.clone()
+			for _, e := range cc.List {
+				branch = ls.expr(e, branch)
+			}
+			branch, term := ls.stmtList(cc.Body, branch)
+			j.add(branch, term)
+		}
+		if !hasDefault {
+			j.add(held, false) // no case matched: fall through untouched
+		}
+		return j.result(held)
+	case *ast.TypeSwitchStmt:
+		held, _ = ls.stmt(s.Init, held)
+		held, _ = ls.stmt(s.Assign, held)
+		j := newJoin()
+		hasDefault := false
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			branch, term := ls.stmtList(cc.Body, held.clone())
+			j.add(branch, term)
+		}
+		if !hasDefault {
+			j.add(held, false)
+		}
+		return j.result(held)
+	case *ast.SelectStmt:
+		j := newJoin()
+		hasDefault := false
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+			branch, _ := ls.stmt(cc.Comm, held.clone())
+			branch, term := ls.stmtList(cc.Body, branch)
+			j.add(branch, term)
+		}
+		if !hasDefault && len(s.Body.List) == 0 {
+			j.add(held, false)
+		}
+		return j.result(held)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			held = ls.expr(e, held)
+		}
+		return held, true
+	case *ast.SendStmt:
+		held = ls.expr(s.Chan, held)
+		return ls.expr(s.Value, held), false
+	case *ast.IncDecStmt:
+		return ls.expr(s.X, held), false
+	case *ast.GoStmt:
+		ls.deferredCall(s.Call, held)
+		return held, false
+	case *ast.DeferStmt:
+		ls.deferredCall(s.Call, held)
+		return held, false
+	case *ast.LabeledStmt:
+		return ls.stmt(s.Stmt, held)
+	default:
+		// BranchStmt, EmptyStmt: no expressions, no lock effects. break/
+		// continue/goto are deliberately NOT termination — their target is
+		// unknown to this straight-line pass, so letting their set join
+		// keeps the analysis conservative (over-reporting, never silent).
+		return held, false
+	}
+}
+
+// stmtList folds a statement sequence; statements after a terminating one
+// are unreachable and skipped.
+func (ls *lockState) stmtList(list []ast.Stmt, held lockSet) (lockSet, bool) {
+	for _, st := range list {
+		var term bool
+		held, term = ls.stmt(st, held)
+		if term {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+// join accumulates the branch results of a control-flow fork:
+// intersection over the branches that can actually fall through.
+type join struct {
+	set  lockSet
+	live bool
+}
+
+func newJoin() *join { return &join{} }
+
+func (j *join) add(s lockSet, terminated bool) {
+	if terminated {
+		return
+	}
+	if !j.live {
+		j.set, j.live = s, true
+		return
+	}
+	j.set = intersectLocks(j.set, s)
+}
+
+// result returns the joined set; when every branch terminated, execution
+// never reaches past the fork, so the pre-fork set (fallback) is as good
+// as any and the fork reports terminated.
+func (j *join) result(fallback lockSet) (lockSet, bool) {
+	if !j.live {
+		return fallback, true
+	}
+	return j.set, false
+}
+
+// isPanicCall reports whether call is the builtin panic.
+func isPanicCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+// deferredCall checks a go/defer call's accesses against the current held
+// set without applying lock effects: defer mu.Unlock() releases at frame
+// exit, not here, and a spawned goroutine's locking helps nobody on this
+// path.
+func (ls *lockState) deferredCall(call *ast.CallExpr, held lockSet) {
+	if sel, kind := ls.lockOp(call); sel != nil && kind != "" {
+		ls.expr(sel.X, held.clone())
+		return
+	}
+	if fl, ok := call.Fun.(*ast.FuncLit); ok {
+		ls.funcLit(fl)
+	} else {
+		ls.expr(call.Fun, held.clone())
+	}
+	for _, a := range call.Args {
+		ls.expr(a, held.clone())
+	}
+}
+
+// expr checks every guarded access in e against held and applies
+// Lock/Unlock effects in evaluation order, returning the updated set.
+func (ls *lockState) expr(e ast.Expr, held lockSet) lockSet {
+	switch e := e.(type) {
+	case nil:
+		return held
+	case *ast.Ident:
+		ls.checkIdent(e, held)
+		return held
+	case *ast.SelectorExpr:
+		ls.checkSelector(e, held)
+		return ls.expr(e.X, held)
+	case *ast.CallExpr:
+		if sel, kind := ls.lockOp(e); sel != nil {
+			held = ls.expr(sel.X, held)
+			key, ok := renderPath(sel.X)
+			if !ok {
+				return held
+			}
+			switch kind {
+			case "Lock", "RLock":
+				held = held.clone()
+				held[key] = true
+			case "Unlock", "RUnlock":
+				held = held.clone()
+				delete(held, key)
+			}
+			return held
+		}
+		held = ls.expr(e.Fun, held)
+		for _, a := range e.Args {
+			held = ls.expr(a, held)
+		}
+		return held
+	case *ast.FuncLit:
+		ls.funcLit(e)
+		return held
+	case *ast.ParenExpr:
+		return ls.expr(e.X, held)
+	case *ast.StarExpr:
+		return ls.expr(e.X, held)
+	case *ast.UnaryExpr:
+		return ls.expr(e.X, held)
+	case *ast.BinaryExpr:
+		held = ls.expr(e.X, held)
+		return ls.expr(e.Y, held)
+	case *ast.IndexExpr:
+		held = ls.expr(e.X, held)
+		return ls.expr(e.Index, held)
+	case *ast.IndexListExpr:
+		held = ls.expr(e.X, held)
+		for _, i := range e.Indices {
+			held = ls.expr(i, held)
+		}
+		return held
+	case *ast.SliceExpr:
+		held = ls.expr(e.X, held)
+		held = ls.expr(e.Low, held)
+		held = ls.expr(e.High, held)
+		return ls.expr(e.Max, held)
+	case *ast.TypeAssertExpr:
+		return ls.expr(e.X, held)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				// Struct-literal keys are field names, not reads; map keys
+				// are real expressions, but an Ident key resolving to a
+				// field is never flagged (checkIdent only knows package
+				// vars), so walking both is safe.
+				held = ls.expr(kv.Key, held)
+				held = ls.expr(kv.Value, held)
+				continue
+			}
+			held = ls.expr(el, held)
+		}
+		return held
+	case *ast.KeyValueExpr:
+		held = ls.expr(e.Key, held)
+		return ls.expr(e.Value, held)
+	default:
+		// Type expressions, literals: nothing to check.
+		return held
+	}
+}
+
+// funcLit analyzes a function literal's body from an EMPTY held set: the
+// closure may run on another goroutine or after every lock here is gone.
+// The literal inherits the surrounding //lint:locked assertion only if
+// that is re-stated — it deliberately is not, because the assertion is
+// about the declared function's callers.
+func (ls *lockState) funcLit(fl *ast.FuncLit) {
+	saved := ls.locked
+	ls.locked = map[string]bool{}
+	ls.stmt(fl.Body, lockSet{})
+	ls.locked = saved
+}
+
+// lockOp reports whether call is mu.Lock/RLock/Unlock/RUnlock on a
+// sync.Mutex or sync.RWMutex, returning the selector and method name.
+func (ls *lockState) lockOp(call *ast.CallExpr) (*ast.SelectorExpr, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return nil, ""
+	}
+	tv, ok := ls.pass.Info.Types[sel.X]
+	if !ok || !isMutexType(tv.Type) {
+		return nil, ""
+	}
+	return sel, sel.Sel.Name
+}
+
+// checkSelector flags a guarded-field access not covered by the held set
+// or the function's //lint:locked assertion.
+func (ls *lockState) checkSelector(sel *ast.SelectorExpr, held lockSet) {
+	s, ok := ls.pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	spec, ok := ls.guarded[v]
+	if !ok || spec.pkgVar {
+		return
+	}
+	if ls.locked[spec.guard] {
+		return
+	}
+	base, rendered := renderPath(sel.X)
+	if rendered && held[base+"."+spec.guard] {
+		return
+	}
+	if !rendered {
+		base = "<expr>"
+	}
+	ls.pass.ReportfAnchored(sel.Sel.Pos(), spec.anchor,
+		"%s is guarded by %q: access does not hold %s.%s (lock it first or annotate the function //lint:locked %s)",
+		v.Name(), spec.guard, base, spec.guard, spec.guard)
+}
+
+// checkIdent flags a guarded package-var access not covered by the held
+// set or the function's //lint:locked assertion.
+func (ls *lockState) checkIdent(id *ast.Ident, held lockSet) {
+	v, ok := ls.pass.Info.Uses[id].(*types.Var)
+	if !ok {
+		return
+	}
+	spec, ok := ls.guarded[v]
+	if !ok || !spec.pkgVar {
+		return
+	}
+	if ls.locked[spec.guard] || held[spec.guard] {
+		return
+	}
+	ls.pass.ReportfAnchored(id.Pos(), spec.anchor,
+		"%s is guarded by %q: access does not hold %s (lock it first or annotate the function //lint:locked %s)",
+		v.Name(), spec.guard, spec.guard, spec.guard)
+}
+
+// renderPath renders an lvalue-ish path ("sh", "c.shards[i]", "(*p).mu")
+// to a canonical string for lock-identity matching. Calls and anything
+// else whose identity cannot be read off the syntax are unrenderable;
+// an unrenderable lock target is simply not recorded (conservative: the
+// access side then fails), and an unrenderable access base reports.
+func renderPath(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		base, ok := renderPath(e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	case *ast.ParenExpr:
+		return renderPath(e.X)
+	case *ast.StarExpr:
+		return renderPath(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return renderPath(e.X)
+		}
+		return "", false
+	case *ast.IndexExpr:
+		base, ok := renderPath(e.X)
+		idx, ok2 := renderPath(e.Index)
+		if ok && ok2 {
+			return base + "[" + idx + "]", true
+		}
+		return "", false
+	case *ast.BasicLit:
+		return e.Value, true
+	default:
+		return "", false
+	}
+}

@@ -93,6 +93,9 @@ func checkCopyExpr(p *Pass, expr ast.Expr, context string) {
 	default:
 		return
 	}
+	if tv, ok := p.Info.Types[e]; ok && tv.IsType() {
+		return // a type argument (new(T)) names the type, it copies nothing
+	}
 	t := p.Info.TypeOf(e)
 	if t == nil || !containsLock(t, nil) {
 		return

@@ -1,0 +1,3 @@
+module example/fix
+
+go 1.22

@@ -1,0 +1,20 @@
+// Package pkga is the caller side of the cross-package hotpath fixture.
+package pkga
+
+import "example/fix/pkgb"
+
+// Access is a hot path that leaks an allocation through a cross-package
+// call: the finding must be reported here, at the call edge, because a
+// suppression can only live in the package whose pass reports it.
+//
+//lint:hotpath
+func Access(xs []int) []int {
+	return pkgb.Grow(xs)
+}
+
+// Composed calls an independently-annotated hot path: no finding.
+//
+//lint:hotpath
+func Composed(x int) int {
+	return pkgb.Hot(x)
+}

@@ -1,0 +1,31 @@
+// Package pkgb is the callee side of the cross-package hotpath fixture:
+// its helper allocates, and the caller in pkga is the annotated root.
+package pkgb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Grow allocates. It is not annotated, so pkgb's own pass says nothing;
+// the finding belongs to whichever package walks into it from a
+// //lint:hotpath root.
+func Grow(xs []int) []int {
+	out := make([]int, len(xs)*2)
+	copy(out, xs)
+	return out
+}
+
+// Hot is annotated here, so callers' walks stop at it: the contract
+// composes instead of double-reporting.
+//
+//lint:hotpath
+func Hot(x int) int { return x + 1 }
+
+// Describe exists to drag real standard-library surface (fmt and its
+// transitive closure) into the type-check, so the loader benchmark
+// measures what module loads actually pay for stdlib imports.
+func Describe(xs []int) string {
+	sort.Ints(xs)
+	return fmt.Sprintf("%d values, min %v", len(xs), xs[:min(1, len(xs))])
+}

@@ -24,3 +24,30 @@ func badCheckName() {}
 
 //lint:ignore errcheck,,maporder empty element poisons the whole list
 func emptyListElement() {}
+
+//lint:guardedby annotation verbs with missing arguments are malformed
+func guardedByNoArg() {}
+
+//lint:guardedby mu extra words are malformed too
+func guardedByExtra() {}
+
+//lint:hotpath takes-no-arguments
+func hotpathWithArg() {}
+
+//lint:locked mu, trailing comma poisons the guard list
+func lockedTrailingComma() {}
+
+//lint:locked 9mu
+func lockedBadIdent() {} // guard names must be identifiers: leading digit is malformed
+
+type okAnnotations struct {
+	mu struct{} // not a real mutex, but well-formedness is all this package tests
+	//lint:hotpath
+	_ int
+}
+
+//lint:hotpath
+func wellFormedHotpath() {} // ok: well-formed annotations are not malformed directives
+
+//lint:locked mu,other
+func wellFormedLocked() {} // ok

@@ -1,0 +1,101 @@
+// Package hotpath exercises the hotpath check: functions annotated
+// //lint:hotpath (and their statically-resolved module callees) must
+// contain no definite allocation sites.
+package hotpath
+
+type ring struct {
+	buf  []int
+	head int
+}
+
+//lint:hotpath
+func (r *ring) Push(v int) {
+	if r.head == len(r.buf) {
+		r.grow()
+	}
+	r.buf[r.head] = v
+	r.head++
+}
+
+// grow is not annotated itself: the walk from Push enters it and reports
+// at the allocation site, naming the root.
+func (r *ring) grow() {
+	nb := make([]int, 2*len(r.buf)+1) // want "allocation on hot path ring.Push .in ring.grow.: make"
+	copy(nb, r.buf)
+	r.buf = nb
+}
+
+//lint:hotpath
+func news() *ring {
+	return new(ring) // want "allocation on hot path news: new"
+}
+
+//lint:hotpath
+func comp() *ring {
+	return &ring{} // want "allocation on hot path comp: &composite literal"
+}
+
+func consume(x interface{}) {}
+
+//lint:hotpath
+func boxes(v int) {
+	consume(v) // want "interface boxing of int argument"
+}
+
+//lint:hotpath
+func noBoxPointer(p *ring) {
+	consume(p) // ok: pointer-shaped values box without allocating
+}
+
+//lint:hotpath
+func noBoxConst() {
+	consume(42)  // ok: constants never box
+	consume(nil) // ok: nil never boxes
+}
+
+//lint:hotpath
+func appends(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want "append inside loop"
+	}
+	return out
+}
+
+//lint:hotpath
+func appendOnce(xs []int, v int) []int {
+	return append(xs, v) // ok: single append outside any loop
+}
+
+//lint:hotpath
+func str(b []byte) string {
+	return string(b) // want "string<->..byte conversion"
+}
+
+//lint:hotpath
+func closure(n int) func() int {
+	return func() int { return n } // want "closure allocation"
+}
+
+//lint:hotpath
+func warmup() {
+	//lint:ignore hotpath one-time geometric growth, amortized O(1) per access
+	_ = make([]int, 8) // suppressed "make"
+}
+
+//lint:hotpath
+func composedCaller(r *ring, v int) {
+	r.Push(v) // ok: Push is hotpath itself, independently checked
+}
+
+type iface interface{ M() }
+
+//lint:hotpath
+func dyn(i iface) {
+	i.M() // ok: dynamic dispatch is a documented walk boundary
+}
+
+// coldPath is unannotated and unreachable from any root: never checked.
+func coldPath() []int {
+	return make([]int, 4)
+}

@@ -1,0 +1,231 @@
+// Package lockguard exercises the lockguard check: accesses to
+// //lint:guardedby fields must be dominated by Lock/RLock on the same
+// base path, or live in a function annotated //lint:locked.
+package lockguard
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	//lint:guardedby mu
+	n    int
+	hits int // unguarded: free to race, lockguard says nothing
+}
+
+func (c *counter) good() {
+	c.mu.Lock()
+	c.n++ // ok: lock held
+	c.mu.Unlock()
+	c.hits++ // ok: not guarded
+}
+
+func (c *counter) bad() {
+	c.n++ // want "n is guarded by .mu.: access does not hold c.mu"
+}
+
+func (c *counter) afterUnlock() {
+	c.mu.Lock()
+	c.n = 1 // ok
+	c.mu.Unlock()
+	c.n = 2 // want "access does not hold c.mu"
+}
+
+// lockedHelper asserts its callers hold mu, the pattern for *Locked
+// helper methods.
+//
+//lint:locked mu
+func (c *counter) lockedHelper() {
+	c.n++ // ok: function is annotated //lint:locked mu
+}
+
+func (c *counter) maybeReleased(b bool) {
+	c.mu.Lock()
+	if b {
+		c.mu.Unlock()
+	}
+	c.n++ // want "access does not hold c.mu"
+	if !b {
+		c.mu.Unlock()
+	}
+}
+
+func (c *counter) bothBranchesLock(b bool) {
+	if b {
+		c.mu.Lock()
+	} else {
+		c.mu.Lock()
+	}
+	c.n++ // ok: every branch locked
+	c.mu.Unlock()
+}
+
+func (c *counter) deferredUnlock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++ // ok: defer releases at exit, not here
+}
+
+func (c *counter) closureEscapes() {
+	c.mu.Lock()
+	f := func() {
+		c.n++ // want "access does not hold c.mu"
+	}
+	f()
+	c.mu.Unlock()
+}
+
+func (c *counter) goroutine() {
+	c.mu.Lock()
+	go func() {
+		c.n++ // want "access does not hold c.mu"
+	}()
+	c.mu.Unlock()
+}
+
+func (c *counter) loopBody(k int) {
+	for i := 0; i < k; i++ {
+		c.mu.Lock()
+		c.n++ // ok: locked on this iteration's path
+		c.mu.Unlock()
+	}
+	c.n = 0 // want "access does not hold c.mu"
+}
+
+type rw struct {
+	mu sync.RWMutex
+	//lint:guardedby mu
+	data []int
+}
+
+func (r *rw) read(i int) int {
+	r.mu.RLock()
+	v := r.data[i] // ok: read lock counts as held
+	r.mu.RUnlock()
+	return v
+}
+
+type trailing struct {
+	mu sync.Mutex
+	m  map[string]int //lint:guardedby mu
+}
+
+func (t *trailing) get(k string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.m[k] // ok
+}
+
+func (t *trailing) put(k string, v int) {
+	t.m[k] = v // want "m is guarded by .mu."
+}
+
+type statRacy struct {
+	mu sync.Mutex
+	//lint:guardedby mu
+	races int //lint:ignore lockguard approximate counter, torn reads acceptable and documented
+}
+
+func (s *statRacy) peek() int {
+	return s.races // suppressed "races is guarded by .mu."
+}
+
+type broken struct {
+	//lint:guardedby nosuch
+	x int // want "no sync.Mutex/RWMutex field .nosuch. in this struct"
+}
+
+func (b *broken) use() int { return b.x }
+
+var globalMu sync.Mutex
+
+//lint:guardedby globalMu
+var global int
+
+func readGlobal() int {
+	globalMu.Lock()
+	v := global // ok
+	globalMu.Unlock()
+	return v
+}
+
+func badGlobal() int {
+	return global // want "global is guarded by .globalMu.: access does not hold globalMu"
+}
+
+//lint:locked globalMu
+func lockedGlobal() int {
+	return global // ok: asserted held by callers
+}
+
+// earlyReturn is the canonical cache shape: branches that unlock and
+// return do not reach the code after the branch, so they must not drop
+// the lock from the fall-through path.
+func (c *counter) earlyReturn(hit bool) int {
+	c.mu.Lock()
+	if hit {
+		v := c.n // ok: still locked here
+		c.mu.Unlock()
+		return v
+	}
+	c.n++ // ok: the early-return branch never reaches this point
+	c.mu.Unlock()
+	return 0
+}
+
+func (c *counter) switchEarlyReturn(state int) int {
+	c.mu.Lock()
+	switch state {
+	case 0:
+		c.mu.Unlock()
+		return -1
+	case 1:
+		v := c.n // ok: locked
+		c.mu.Unlock()
+		return v
+	default:
+		// fall through holding the lock
+	}
+	c.n++ // ok: both returning cases terminated
+	c.mu.Unlock()
+	return c.hits
+}
+
+func (c *counter) panicPath(bad bool) {
+	c.mu.Lock()
+	if bad {
+		c.mu.Unlock()
+		panic("bad")
+	}
+	c.n++ // ok: the panicking branch never falls through
+	c.mu.Unlock()
+}
+
+func (c *counter) unlockNoReturn(miss bool) {
+	c.mu.Lock()
+	if miss {
+		c.mu.Unlock() // no return: this branch DOES fall through unlocked
+	}
+	c.n++ // want "access does not hold c.mu"
+}
+
+func (c *counter) switchNoDefault(state int) {
+	c.mu.Lock()
+	switch state {
+	case 0:
+		c.n++ // ok: locked
+		c.mu.Unlock()
+		return
+	}
+	c.n = 0 // ok: the only case returned, fall-through path still holds mu
+	c.mu.Unlock()
+}
+
+func (c *counter) deadTail() int {
+	c.mu.Lock()
+	if c.n > 0 { // ok: locked
+		c.mu.Unlock()
+		return 1
+	}
+	c.mu.Unlock()
+	return 0
+}

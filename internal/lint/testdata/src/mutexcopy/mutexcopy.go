@@ -64,3 +64,10 @@ func ranges(xs []guarded) int {
 func makeGuarded() guarded { // suppressed "passed by value contains a lock"
 	return guarded{} // ok: composite literal
 }
+
+func news() *guarded {
+	keep(new(guarded)) // ok: new(T)'s argument is a type, nothing is copied
+	return new(guarded)
+}
+
+func keep(*guarded) {}

@@ -9,8 +9,11 @@ import (
 // Allocation regression tests: once the dense index and node pool have
 // grown to cover the working set, replaying through the array-backed
 // kernels must not allocate at all. A regression here means a per-access
-// allocation snuck back into the hot path.
+// allocation snuck back into the hot path. The //allocguard: markers tie
+// each //lint:hotpath annotation to the AllocsPerRun measurement backing
+// it; the lint suite's consistency test fails if they drift apart.
 
+// allocguard:LRU.Access
 func TestLRUZeroAllocSteadyState(t *testing.T) {
 	src := xrand.New(xrand.Split(50, "alloc-lru", 0))
 	tr := localTrace(src, 2000, 128)
@@ -33,6 +36,7 @@ func TestLRUZeroAllocSteadyState(t *testing.T) {
 	}
 }
 
+// allocguard:FIFO.Access
 func TestFIFOZeroAllocSteadyState(t *testing.T) {
 	src := xrand.New(xrand.Split(50, "alloc-fifo", 0))
 	tr := localTrace(src, 2000, 128)
@@ -74,3 +78,101 @@ func TestSquareStreamBoundedState(t *testing.T) {
 type constSource struct{ size int64 }
 
 func (c constSource) Next() int64 { return c.size }
+
+// TestOptHeapZeroAllocSteadyState: once the heap's backing array has grown
+// to the peak population, balanced push/pop churn reuses it.
+//
+//allocguard:optHeap.push
+//allocguard:optHeap.pop
+func TestOptHeapZeroAllocSteadyState(t *testing.T) {
+	src := xrand.New(xrand.Split(50, "alloc-opt", 0))
+	keys := make([]uint64, 256)
+	for i := range keys {
+		keys[i] = src.Uint64()
+	}
+	var h optHeap
+	for _, k := range keys {
+		h.push(k)
+	}
+	for len(h) > 0 {
+		h.pop()
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		for _, k := range keys {
+			h.push(k)
+		}
+		for len(h) > 0 {
+			h.pop()
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("optHeap push/pop churn allocates %.1f times per run, want 0", avg)
+	}
+}
+
+// TestSquareStreamZeroAllocSteadyState: with the residency array reserved
+// and a box large enough to never close, serving references allocates
+// nothing. (Closing a box appends a BoxStat — amortised by box, not by
+// reference — so the steady state within a box is the hot path.)
+//
+// allocguard:SquareStream.Access
+func TestSquareStreamZeroAllocSteadyState(t *testing.T) {
+	src := xrand.New(xrand.Split(50, "alloc-squarestream", 0))
+	tr := localTrace(src, 2000, 128)
+	q := NewSquareStream(constSource{1 << 40}, 0)
+	q.Reserve(tr.MaxBlock())
+	q.Access(tr.Block(0)) // open the one huge box
+	avg := testing.AllocsPerRun(10, func() {
+		for i := 0; i < tr.Len(); i++ {
+			q.Access(tr.Block(i))
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("SquareStream steady-state replay allocates %.1f times per run, want 0", avg)
+	}
+}
+
+// TestSquareFinisherZeroAllocSteadyState: same shape as the stream — one
+// huge box, reserved residency, zero allocations per reference.
+//
+// allocguard:SquareFinisher.Access
+func TestSquareFinisherZeroAllocSteadyState(t *testing.T) {
+	src := xrand.New(xrand.Split(50, "alloc-squarefin", 0))
+	tr := localTrace(src, 2000, 128)
+	f := NewSquareFinisher([]int64{1 << 40})
+	f.Reserve(tr.MaxBlock())
+	avg := testing.AllocsPerRun(10, func() {
+		for i := 0; i < tr.Len(); i++ {
+			f.Access(tr.Block(i))
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("SquareFinisher steady-state replay allocates %.1f times per run, want 0", avg)
+	}
+}
+
+// TestCacheSinkZeroAllocSteadyState: the cache adapter adds nothing on top
+// of the warmed cache's own zero-allocation access.
+//
+// allocguard:CacheSink.Access
+func TestCacheSinkZeroAllocSteadyState(t *testing.T) {
+	src := xrand.New(xrand.Split(50, "alloc-cachesink", 0))
+	tr := localTrace(src, 2000, 128)
+	l, err := NewLRU(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Reserve(tr.MaxBlock())
+	s := CacheSink{Cache: l}
+	for i := 0; i < tr.Len(); i++ {
+		s.Access(tr.Block(i))
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		for i := 0; i < tr.Len(); i++ {
+			s.Access(tr.Block(i))
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("CacheSink steady-state replay allocates %.1f times per run, want 0", avg)
+	}
+}

@@ -74,6 +74,8 @@ func (f *FIFO) Clear() {
 
 // Access touches block, returning true on a hit. FIFO does not reorder on
 // hits — that is the whole difference from LRU.
+//
+//lint:hotpath
 func (f *FIFO) Access(block int64) bool {
 	f.ensure(block)
 	if f.resident[block] {
@@ -120,9 +122,11 @@ func (f *FIFO) ensure(block int64) {
 	if n <= block {
 		n = block + 1
 	}
+	//lint:ignore hotpath geometric bitmap growth amortises to O(1) per access and Reserve pre-sizes it away in steady state
 	grownResident := make([]bool, n)
 	copy(grownResident, f.resident)
 	f.resident = grownResident
+	//lint:ignore hotpath geometric index growth, same amortisation as the bitmap above
 	grownAt := make([]int32, n)
 	copy(grownAt, f.at)
 	f.at = grownAt
@@ -136,6 +140,7 @@ func (f *FIFO) push(block int64) {
 		if n < 4 {
 			n = 4
 		}
+		//lint:ignore hotpath geometric ring growth amortises to O(1) per fetch; the ring stops growing once sized to the peak window
 		grown := make([]int64, n)
 		for i := 0; i < f.size; i++ {
 			grown[i] = f.ring[(f.ringHead+i)%len(f.ring)]

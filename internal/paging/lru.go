@@ -83,6 +83,8 @@ func (l *LRU) Clear() {
 
 // Access touches block, returning true on a hit. On a miss the block is
 // fetched, evicting the LRU block if the cache is full.
+//
+//lint:hotpath
 func (l *LRU) Access(block int64) bool {
 	l.ensure(block)
 	if s := l.slot[block]; s != nilNode {
@@ -111,6 +113,7 @@ func (l *LRU) ensure(block int64) {
 	if n <= block {
 		n = block + 1
 	}
+	//lint:ignore hotpath geometric index growth amortises to O(1) per access and Reserve pre-sizes it away in steady state
 	grown := make([]int32, n)
 	copy(grown, l.slot)
 	for i := len(l.slot); i < len(grown); i++ {

@@ -30,6 +30,7 @@ const optNever = int32(-1)
 // optHeap is a max-heap of packed (nextUse<<32 | block) keys.
 type optHeap []uint64
 
+//lint:hotpath
 func (h *optHeap) push(x uint64) {
 	*h = append(*h, x)
 	s := *h
@@ -44,6 +45,7 @@ func (h *optHeap) push(x uint64) {
 	}
 }
 
+//lint:hotpath
 func (h *optHeap) pop() uint64 {
 	s := *h
 	top := s[0]

@@ -45,6 +45,8 @@ func (q *SquareStream) Reserve(maxBlock int64) { q.ensure(maxBlock) }
 // Access serves one block reference under square semantics: first touch of
 // a block within a box costs one I/O from the box budget; when the budget
 // is exhausted a new box starts with a cleared cache.
+//
+//lint:hotpath
 func (q *SquareStream) Access(block int64) {
 	if q.err != nil {
 		return
@@ -53,6 +55,7 @@ func (q *SquareStream) Access(block int64) {
 		q.started = true
 		q.cur = BoxStat{Size: q.src.Next()}
 		if q.cur.Size < 1 {
+			//lint:ignore hotpath error path: the stream is dead after this, one allocation to say why is fine
 			q.err = fmt.Errorf("paging: box source produced size %d", q.cur.Size)
 			return
 		}
@@ -64,6 +67,7 @@ func (q *SquareStream) Access(block int64) {
 			// Budget exhausted: this reference belongs to the next box.
 			q.stats = append(q.stats, q.cur)
 			if q.maxBoxes > 0 && int64(len(q.stats)) >= q.maxBoxes {
+				//lint:ignore hotpath error path: the box guard tripping ends the run
 				q.err = fmt.Errorf("paging: run exceeded %d boxes", q.maxBoxes)
 				q.started = false
 				return
@@ -71,6 +75,7 @@ func (q *SquareStream) Access(block int64) {
 			q.epoch++
 			q.cur = BoxStat{Size: q.src.Next()}
 			if q.cur.Size < 1 {
+				//lint:ignore hotpath error path: the stream is dead after this, one allocation to say why is fine
 				q.err = fmt.Errorf("paging: box source produced size %d", q.cur.Size)
 				q.started = false
 				return
@@ -139,6 +144,7 @@ func (q *SquareStream) ensure(block int64) {
 	if n <= block {
 		n = block + 1
 	}
+	//lint:ignore hotpath geometric residency growth amortises to O(1) per access and Reserve pre-sizes it away in steady state
 	grown := make([]int64, n)
 	copy(grown, q.resident)
 	for i := len(q.resident); i < len(grown); i++ {
@@ -181,6 +187,8 @@ func (f *SquareFinisher) Reserve(maxBlock int64) { f.ensure(maxBlock) }
 
 // Access serves one reference, advancing to the next box when the current
 // budget is exhausted. References after the last box ends are unserved.
+//
+//lint:hotpath
 func (f *SquareFinisher) Access(block int64) {
 	if f.done || f.err != nil {
 		return
@@ -198,6 +206,7 @@ func (f *SquareFinisher) Access(block int64) {
 			return
 		}
 		if f.boxes[f.bi] < 1 {
+			//lint:ignore hotpath error path: an invalid box ends the run, one allocation to say why is fine
 			f.err = fmt.Errorf("paging: box size %d invalid", f.boxes[f.bi])
 			return
 		}
@@ -245,6 +254,7 @@ func (f *SquareFinisher) ensure(block int64) {
 	if n <= block {
 		n = block + 1
 	}
+	//lint:ignore hotpath geometric residency growth amortises to O(1) per access and Reserve pre-sizes it away in steady state
 	grown := make([]int64, n)
 	copy(grown, f.resident)
 	for i := len(f.resident); i < len(grown); i++ {
@@ -273,6 +283,8 @@ type CacheSink struct {
 }
 
 // Access forwards the reference to the cache, discarding the hit flag.
+//
+//lint:hotpath
 func (s CacheSink) Access(block int64) { s.Cache.Access(block) }
 
 // AccessRange forwards blocks [lo, lo+count) in order.

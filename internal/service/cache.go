@@ -68,12 +68,18 @@ type cacheConfig struct {
 // built around. IDs are recycled through a free list, so the dense side
 // stays as small as the shard's peak entry count.
 type cacheShard struct {
-	mu       sync.Mutex
-	entries  map[string]*cacheEntry
-	byID     []*cacheEntry
-	freeIDs  []int64
-	policy   paging.EvictionPolicy
-	bytes    int64 // sum of resident body lengths
+	mu sync.Mutex
+	//lint:guardedby mu
+	entries map[string]*cacheEntry
+	//lint:guardedby mu
+	byID []*cacheEntry
+	//lint:guardedby mu
+	freeIDs []int64
+	//lint:guardedby mu
+	policy paging.EvictionPolicy
+	//lint:guardedby mu
+	bytes int64 // sum of resident body lengths
+	//lint:guardedby mu
 	inflight map[string]*flight
 
 	maxEntries int64
@@ -366,6 +372,8 @@ func (c *shardedCache) expiry() time.Time {
 // bounds. Callers hold sh.mu. The entry just inserted is never the
 // eviction victim: a body too large to ever fit is simply not cached, and
 // the overflow loop stops before reaching the newest entry.
+//
+//lint:locked mu
 func (c *shardedCache) insertLocked(sh *cacheShard, key string, body []byte) {
 	if c.disabled {
 		return
@@ -406,6 +414,8 @@ func (c *shardedCache) insertLocked(sh *cacheShard, key string, body []byte) {
 
 // evictOverflowLocked evicts policy victims until both bounds hold again,
 // never evicting the entry identified by keep. Callers hold sh.mu.
+//
+//lint:locked mu
 func (sh *cacheShard) evictOverflowLocked(keep int64) {
 	for sh.bytes > sh.maxBytes || int64(len(sh.entries)) > sh.maxEntries {
 		v := sh.policy.Victim()
@@ -419,6 +429,8 @@ func (sh *cacheShard) evictOverflowLocked(keep int64) {
 
 // removeLocked forgets an entry everywhere: key map, dense index, policy,
 // bytes ledger. Callers hold sh.mu.
+//
+//lint:locked mu
 func (sh *cacheShard) removeLocked(e *cacheEntry) {
 	delete(sh.entries, e.key)
 	sh.policy.Remove(e.id)

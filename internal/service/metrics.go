@@ -32,9 +32,12 @@ type metrics struct {
 	runsFailed    atomic.Int64
 	inFlight      atomic.Int64
 
-	mu          sync.Mutex
-	cells       int64
+	mu sync.Mutex
+	//lint:guardedby mu
+	cells int64
+	//lint:guardedby mu
 	busySeconds float64
+	//lint:guardedby mu
 	wallSeconds float64
 }
 

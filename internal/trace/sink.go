@@ -38,12 +38,18 @@ type OffsetSink struct {
 }
 
 // Access forwards block+Shift to the underlying sink.
+//
+//lint:hotpath
 func (o OffsetSink) Access(block int64) { o.S.Access(block + o.Shift) }
 
 // AccessRange forwards the shifted range to the underlying sink.
+//
+//lint:hotpath
 func (o OffsetSink) AccessRange(lo, count int64) { o.S.AccessRange(lo+o.Shift, count) }
 
 // EndLeaf forwards the leaf marker unchanged.
+//
+//lint:hotpath
 func (o OffsetSink) EndLeaf() { o.S.EndLeaf() }
 
 // Stopped delegates to the wrapped sink's Stopper surface (false when the
@@ -67,6 +73,8 @@ type CountingSink struct {
 }
 
 // Access counts one reference.
+//
+//lint:hotpath
 func (c *CountingSink) Access(block int64) {
 	c.Refs++
 	if block > c.MaxBlock {
@@ -75,6 +83,8 @@ func (c *CountingSink) Access(block int64) {
 }
 
 // AccessRange counts count references ending at lo+count-1.
+//
+//lint:hotpath
 func (c *CountingSink) AccessRange(lo, count int64) {
 	if count <= 0 {
 		return
@@ -88,6 +98,8 @@ func (c *CountingSink) AccessRange(lo, count int64) {
 // EndLeaf counts one base case. Like Builder it panics before any access
 // and is idempotent per access, so generators behave identically on every
 // sink.
+//
+//lint:hotpath
 func (c *CountingSink) EndLeaf() {
 	if c.Refs == 0 {
 		panic("trace: EndLeaf before any access")
@@ -129,6 +141,8 @@ func stopperOf(s Sink) Stopper {
 // and leaf sequence the trace was built from. It bridges the two halves of
 // the pipeline: anything materialized can feed any streaming consumer. If s
 // implements Stopper, the replay halts as soon as Stopped reports true.
+//
+//lint:hotpath
 func Replay(tr *Trace, s Sink) {
 	ReplayRange(tr, s, 0, tr.Len())
 }
@@ -139,6 +153,8 @@ func Replay(tr *Trace, s Sink) {
 // replay halts at the first index where Stopped reports true, so a sink
 // that is done consuming (SquareFinisher with exhausted boxes, a windowed
 // shard) costs O(served) rather than O(trace).
+//
+//lint:hotpath
 func ReplayRange(tr *Trace, s Sink, lo, hi int) {
 	if lo < 0 || hi < lo || hi > tr.Len() {
 		panic("trace: ReplayRange window out of range")
@@ -169,6 +185,8 @@ func ReplayRange(tr *Trace, s Sink, lo, hi int) {
 // fresh address range (RepeatTraceFresh) — but unlike those helpers the
 // repetition is never materialized, so memory stays bounded by the base
 // trace regardless of reps. A Stopper sink halts the repetition early.
+//
+//lint:hotpath
 func ReplayRepeat(tr *Trace, s Sink, reps int, stride int64) {
 	st := stopperOf(s)
 	for r := 0; r < reps; r++ {
@@ -180,7 +198,34 @@ func ReplayRepeat(tr *Trace, s Sink, reps int, stride int64) {
 			Replay(tr, s)
 			continue
 		}
-		Replay(tr, OffsetSink{S: s, Shift: shift})
+		replayShifted(tr, s, st, shift)
+	}
+}
+
+// replayShifted emits one full pass of tr into s with every block shifted —
+// the inlined form of replaying through an OffsetSink{S: s, Shift: shift}. The
+// adapter version boxed a fresh OffsetSink into the Sink interface once per
+// repetition, one heap allocation per rep on the replay hot path; shifting
+// in the loop keeps the repetition allocation-free. st is the caller's
+// already-unwrapped Stopper (nil when s has none).
+func replayShifted(tr *Trace, s Sink, st Stopper, shift int64) {
+	if st != nil {
+		for i := range tr.blocks {
+			if st.Stopped() {
+				return
+			}
+			s.Access(tr.blocks[i] + shift)
+			if tr.leafAt(i) {
+				s.EndLeaf()
+			}
+		}
+		return
+	}
+	for i := range tr.blocks {
+		s.Access(tr.blocks[i] + shift)
+		if tr.leafAt(i) {
+			s.EndLeaf()
+		}
 	}
 }
 
@@ -211,6 +256,8 @@ func NewWindowSink(s Sink, lo, hi int64) *WindowSink {
 func (w *WindowSink) Seen() int64 { return w.n }
 
 // Access forwards the reference when its global index is inside [Lo, Hi).
+//
+//lint:hotpath
 func (w *WindowSink) Access(block int64) {
 	i := w.n
 	w.n++
@@ -222,6 +269,8 @@ func (w *WindowSink) Access(block int64) {
 
 // AccessRange forwards the overlap of the range with the window; a range
 // entirely outside it is skipped in O(1).
+//
+//lint:hotpath
 func (w *WindowSink) AccessRange(lo, count int64) {
 	if count <= 0 {
 		return
@@ -249,6 +298,8 @@ func (w *WindowSink) AccessRange(lo, count int64) {
 }
 
 // EndLeaf forwards the marker when the most recent access was forwarded.
+//
+//lint:hotpath
 func (w *WindowSink) EndLeaf() {
 	i := w.n - 1
 	if w.n == 0 || i < w.Lo || (w.Hi >= 0 && i >= w.Hi) {

@@ -21,7 +21,15 @@ echo "== go vet =="
 go vet ./...
 
 echo "== cadaptivelint =="
+# Zero findings repo-wide is the gate: the annotation-driven lockguard and
+# hotpath contracts (see DESIGN.md "Concurrency & allocation contracts")
+# fail the build alongside the six structural checks.
 go run ./cmd/cadaptivelint ./...
+
+echo "== hotpath/alloc consistency =="
+# Every //lint:hotpath annotation must be backed by an AllocsPerRun test
+# (//allocguard marker), and no marker may outlive its annotation.
+go test -count=1 -run 'TestHotpathAllocConsistency' ./internal/lint/
 
 echo "== go build =="
 go build ./...
@@ -92,6 +100,7 @@ echo "== fuzz smoke =="
 go test -run '^$' -fuzz '^FuzzParseID$' -fuzztime 5s ./internal/core/
 go test -run '^$' -fuzz '^FuzzReadTSV$' -fuzztime 5s ./internal/profile/
 go test -run '^$' -fuzz '^FuzzParseIgnoreDirective$' -fuzztime 5s ./internal/lint/
+go test -run '^$' -fuzz '^FuzzParseAnnotation$' -fuzztime 5s ./internal/lint/
 go test -run '^$' -fuzz '^FuzzKernelsMatchOracles$' -fuzztime 5s ./internal/paging/
 go test -run '^$' -fuzz '^FuzzParallelMatchesSerial$' -fuzztime 5s ./internal/paging/
 go test -run '^$' -fuzz '^FuzzShardRouting$' -fuzztime 5s ./internal/service/
