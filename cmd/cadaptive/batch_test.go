@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/service"
+)
+
+// newBatchServer starts an in-process cadaptived for the batch-mode tests.
+func newBatchServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	s, err := service.New(service.Options{Addr: "127.0.0.1:0", MaxConcurrentRuns: 2, CacheEntries: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestBatchMatchesLocal is the batch-mode contract: `-batch` submits the
+// grid as one job and prints every cell's table in canonical cell order,
+// each byte-identical to the table an in-process run of that cell produces.
+func TestBatchMatchesLocal(t *testing.T) {
+	srv := newBatchServer(t)
+
+	var got bytes.Buffer
+	err := run([]string{
+		"-batch", "-server", srv.URL,
+		"-exp", "E1", "-seed", "7", "-seeds", "2", "-trials", "2",
+		"-maxk-min", "4", "-maxk", "5",
+	}, &got, fixedClock)
+	if err != nil {
+		t.Fatalf("batch run: %v", err)
+	}
+	out := got.String()
+
+	if !strings.Contains(out, "4 cells") {
+		t.Errorf("batch header does not report the 2-seed × 2-maxk grid:\n%s", out)
+	}
+	if !strings.Contains(out, "completed: 4/4 completed, 0 poisoned, 0 cancelled") {
+		t.Errorf("batch summary missing or not fully completed:\n%s", out)
+	}
+	// Canonical cell order is seed-major, then maxk; the tables must appear
+	// in exactly that order with exactly the local bytes.
+	rest := out
+	for _, cell := range []struct {
+		seed uint64
+		maxk int
+	}{{7, 4}, {7, 5}, {8, 4}, {8, 5}} {
+		tb, err := core.RunContext(context.Background(), "E1", core.Config{Seed: cell.seed, Trials: 2, MaxK: cell.maxk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := tb.Format()
+		i := strings.Index(rest, want)
+		if i < 0 {
+			t.Fatalf("batch output missing (or out of order) table for seed=%d maxk=%d:\n%s", cell.seed, cell.maxk, out)
+		}
+		rest = rest[i+len(want):]
+	}
+}
+
+// TestBatchAttach covers -job: attaching to an existing job prints the same
+// tables a fresh -batch submission would, without submitting anything new.
+func TestBatchAttach(t *testing.T) {
+	srv := newBatchServer(t)
+
+	var first bytes.Buffer
+	args := []string{"-batch", "-server", srv.URL, "-exp", "E1", "-seed", "7", "-trials", "2", "-maxk", "4"}
+	if err := run(args, &first, fixedClock); err != nil {
+		t.Fatalf("batch run: %v", err)
+	}
+	// The submission printed "job <id>: ..." first; attach to that ID.
+	var id string
+	if _, err := fmt.Sscanf(first.String(), "job %s ", &id); err != nil {
+		t.Fatalf("cannot parse job id from %q: %v", first.String(), err)
+	}
+	id = strings.TrimSuffix(id, ":")
+
+	var attached bytes.Buffer
+	if err := run([]string{"-job", id, "-server", srv.URL, "-exp", "E1", "-seed", "7", "-trials", "2", "-maxk", "4"}, &attached, fixedClock); err != nil {
+		t.Fatalf("attach run: %v", err)
+	}
+	// The first header line reports progress at submission/attach time (0
+	// completed vs already done); everything after it must match exactly.
+	stripHeader := func(s string) string {
+		if i := strings.IndexByte(s, '\n'); i >= 0 {
+			return s[i+1:]
+		}
+		return s
+	}
+	if stripHeader(attached.String()) != stripHeader(first.String()) {
+		t.Errorf("-job %s output differs from the original -batch run:\n--- attached ---\n%s\n--- batch ---\n%s",
+			id, attached.String(), first.String())
+	}
+}
+
+// TestBatchFlagErrors covers the batch-mode flag combinations that must be
+// rejected before anything reaches a server.
+func TestBatchFlagErrors(t *testing.T) {
+	srv := newBatchServer(t)
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-batch", "-exp", "E1"}, "need -server"},
+		{[]string{"-job", "j1"}, "need -server"},
+		{[]string{"-batch", "-job", "j1", "-server", srv.URL}, "pick one"},
+		{[]string{"-batch", "-server", srv.URL, "-format", "json"}, "-format text or tsv"},
+	} {
+		var buf bytes.Buffer
+		err := run(tc.args, &buf, fixedClock)
+		if err == nil {
+			t.Errorf("args %v accepted, want error", tc.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("args %v: error %q does not mention %q", tc.args, err, tc.want)
+		}
+	}
+}
+
+// TestBatchPartialStillPrints pins graceful degradation at the CLI: a job
+// whose cells poison still reports each poisoned cell per line and exits
+// non-zero naming the degraded terminal status.
+func TestBatchPartialStillPrints(t *testing.T) {
+	// Arm a certain jobs.cell fault, so every attempt fails and the single
+	// cell exhausts its retry budget and poisons — the job degrades to
+	// "partial" for real, through the real retry path.
+	if _, err := fault.Enable(7, "jobs.cell:error:1"); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Disable()
+	srv := newBatchServer(t)
+
+	var buf bytes.Buffer
+	err := run([]string{"-batch", "-server", srv.URL, "-exp", "E1", "-seed", "7", "-trials", "2", "-maxk", "4"}, &buf, fixedClock)
+	if err == nil {
+		t.Fatal("fully-poisoned job exited zero; want a degraded exit")
+	}
+	if !strings.Contains(err.Error(), "partial") {
+		t.Errorf("degraded exit %q does not name the partial terminal status", err)
+	}
+	if out := buf.String(); !strings.Contains(out, "poisoned after") {
+		t.Errorf("batch output does not report the poisoned cell:\n%s", out)
+	}
+}

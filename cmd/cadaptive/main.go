@@ -8,12 +8,21 @@
 //	cadaptive -exp all -workers 8
 //	cadaptive -exp E3 -format json > BENCH_baseline.json
 //	cadaptive -server http://127.0.0.1:8344 -exp E3
+//	cadaptive -server http://127.0.0.1:8344 -batch -exp E1 -seeds 8 -maxk-min 4 -maxk 7
+//	cadaptive -server http://127.0.0.1:8344 -job j1
 //
 // With -server the experiments execute on a cadaptived instance instead of
 // in-process: requests go through the retrying service client (capped
 // backoff, Retry-After aware), and the output is formatted identically —
 // determinism makes a remote table byte-for-byte the table a local run
 // would have produced.
+//
+// -batch submits the (experiment × seed range × maxk sweep) grid as one
+// durable server-side job, waits for it, and prints every completed cell's
+// table; a job that degrades to "partial" still prints its completed tables
+// before the command fails. -job attaches to an existing job instead of
+// submitting — after a server restart, attaching to the same ID resumes
+// waiting on the journal-recovered job.
 //
 // Every run is deterministic in (-seed, -trials, -maxk) — and only those:
 // table contents are byte-identical for any -workers value. EXPERIMENTS.md
@@ -32,6 +41,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/jobs"
 	"repro/internal/service"
 )
 
@@ -67,6 +77,10 @@ func run(args []string, stdout io.Writer, now func() time.Time) error {
 		timing  = fs.Bool("time", false, "print per-experiment wall time and engine utilisation")
 		format  = fs.String("format", "text", "output format: text | tsv | json")
 		server  = fs.String("server", "", "cadaptived base URL; run remotely instead of in-process")
+		batch   = fs.Bool("batch", false, "submit a durable batch job to -server instead of running cells one by one")
+		seeds   = fs.Int("seeds", 1, "batch mode: number of consecutive seeds starting at -seed")
+		maxkMin = fs.Int("maxk-min", 0, "batch mode: sweep maxk from this up to -maxk (0 = just -maxk)")
+		jobID   = fs.String("job", "", "attach to an existing batch job on -server (resume waiting after a restart)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -104,6 +118,22 @@ func run(args []string, stdout io.Writer, now func() time.Time) error {
 			}
 		}
 		return err
+	}
+
+	if *batch || *jobID != "" {
+		if *server == "" {
+			return errors.New("-batch and -job need -server: jobs live on a cadaptived instance")
+		}
+		if *batch && *jobID != "" {
+			return errors.New("-batch submits a new job and -job attaches to an existing one; pick one")
+		}
+		if *format == "json" {
+			return errors.New("batch mode prints per-cell tables; use -format text or tsv")
+		}
+		return runBatch(context.Background(), stdout, batchArgs{
+			server: *server, exp: *exp, cfg: cfg,
+			seeds: *seeds, maxkMin: *maxkMin, jobID: *jobID, tsv: *format == "tsv",
+		})
 	}
 
 	// The CLI and the cadaptived service share core.RunContext /
@@ -170,6 +200,99 @@ func listExperiments(server string) ([]service.ExperimentInfo, error) {
 		return out, nil
 	}
 	return service.NewClient(server).Experiments(context.Background())
+}
+
+// batchArgs is runBatch's bundle of the batch-relevant flags.
+type batchArgs struct {
+	server  string
+	exp     string
+	cfg     core.Config
+	seeds   int
+	maxkMin int
+	jobID   string
+	tsv     bool
+}
+
+// runBatch submits (or attaches to) a server-side batch job, waits for it
+// to leave "running", and prints every completed cell's table in the job's
+// canonical cell order. Poisoned cells are reported per cell and degrade
+// the exit status — after the good tables have printed, because partial
+// results are the point of graceful degradation.
+func runBatch(ctx context.Context, stdout io.Writer, a batchArgs) error {
+	c := service.NewClient(a.server)
+	c.Seed = a.cfg.Seed // replayable retry jitter, same spirit as the runs
+
+	var st *jobs.Status
+	var err error
+	if a.jobID != "" {
+		st, err = c.Job(ctx, a.jobID, false)
+		if err != nil {
+			return fmt.Errorf("attaching to job %s on %s: %w", a.jobID, a.server, err)
+		}
+	} else {
+		exps := []string{a.exp}
+		if a.exp == "all" {
+			infos, lerr := c.Experiments(ctx)
+			if lerr != nil {
+				return fmt.Errorf("listing experiments on %s: %w", a.server, lerr)
+			}
+			exps = exps[:0]
+			for _, e := range infos {
+				exps = append(exps, e.ID)
+			}
+		}
+		maxkMax := a.cfg.MaxK
+		maxkMin := a.maxkMin
+		if maxkMin == 0 {
+			maxkMin = maxkMax
+		}
+		st, err = c.SubmitJob(ctx, jobs.Spec{
+			Experiments: exps,
+			SeedStart:   a.cfg.Seed,
+			SeedCount:   a.seeds,
+			Trials:      a.cfg.Trials,
+			MaxKMin:     maxkMin,
+			MaxKMax:     maxkMax,
+		})
+		if err != nil {
+			return fmt.Errorf("submitting job to %s: %w", a.server, err)
+		}
+	}
+	fmt.Fprintf(stdout, "job %s: %d cells (%d completed) on %s\n", st.ID, st.Total, st.Completed, a.server)
+
+	if st.Status == jobs.JobRunning {
+		if st, err = c.WaitJob(ctx, st.ID); err != nil {
+			return fmt.Errorf("waiting for job %s: %w", st.ID, err)
+		}
+	}
+	// One final fetch with tables: WaitJob polls without them.
+	st, err = c.Job(ctx, st.ID, true)
+	if err != nil {
+		return fmt.Errorf("fetching job %s tables: %w", st.ID, err)
+	}
+	fmt.Fprintf(stdout, "job %s %s: %d/%d completed, %d poisoned, %d cancelled\n",
+		st.ID, st.Status, st.Completed, st.Total, st.Poisoned, st.Cancelled)
+	for _, cell := range st.Cells {
+		switch cell.State {
+		case "done":
+			var t core.Table
+			if err := json.Unmarshal(cell.Table, &t); err != nil {
+				return fmt.Errorf("decoding %s table (seed=%d maxk=%d): %w", cell.Experiment, cell.Seed, cell.MaxK, err)
+			}
+			if a.tsv {
+				fmt.Fprintln(stdout, t.FormatTSV())
+			} else {
+				fmt.Fprintln(stdout, t.Format())
+			}
+		case "poisoned":
+			fmt.Fprintf(stdout, "[%s seed=%d maxk=%d poisoned after %d attempts: %s]\n",
+				cell.Experiment, cell.Seed, cell.MaxK, cell.Attempts, cell.Error)
+		}
+	}
+	if st.Status != jobs.JobCompleted {
+		return fmt.Errorf("job %s ended %s (%d/%d cells completed)", st.ID, st.Status, st.Completed, st.Total)
+	}
+	return nil
 }
 
 // runRemote executes exp (or "all", in registry order) on a cadaptived

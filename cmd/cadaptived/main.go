@@ -9,10 +9,20 @@
 //
 // Endpoints:
 //
-//	POST /v1/run          run (or replay) an experiment: {"experiment":"E3","config":{"seed":1,"trials":20,"max_k":7}}
-//	GET  /v1/experiments  list experiments and ablations (mirrors -list)
-//	GET  /healthz         liveness
-//	GET  /metrics         per-shard cache counters, run counts, engine utilisation
+//	POST   /v1/run          run (or replay) an experiment: {"experiment":"E3","config":{"seed":1,"trials":20,"max_k":7}}
+//	GET    /v1/experiments  list experiments and ablations (mirrors -list)
+//	POST   /v1/jobs         submit a batch job: {"experiments":["E1"],"seed_start":1,"seed_count":8,"maxk_min":4,"maxk_max":7}
+//	GET    /v1/jobs         list jobs; GET /v1/jobs/{id} streams progress + completed tables (?tables=0 for counts only)
+//	DELETE /v1/jobs/{id}    cancel a job (journal-recorded)
+//	GET    /healthz         liveness + queue depth + active job count
+//	GET    /metrics         per-shard cache counters, run counts, engine utilisation, jobs ledger
+//
+// Batch jobs journal one fsync'd record per completed cell into
+// -jobs-dir/jobs.journal; restarting with the same -jobs-dir resumes
+// interrupted jobs, recomputing only the cells the crash destroyed. With no
+// -jobs-dir, jobs run volatile. -jobs-max bounds active jobs, -job-retries
+// the per-cell attempt budget before a cell is poisoned and its job
+// degrades to "partial".
 //
 // The cache is bounded two ways — entries (-cache) and bytes (-cache-bytes,
 // the sum of body lengths); either set to 0 disables storing entirely while
@@ -92,6 +102,9 @@ func parseFlags(args []string) (daemonConfig, error) {
 		cacheSWR    = fs.Duration("cache-swr", 0, "stale-while-revalidate window past -cache-ttl (0 = off; requires -cache-ttl)")
 		maxRuns     = fs.Int("max-runs", 2, "maximum concurrent experiment runs (each fans out on the engine internally)")
 		timeout     = fs.Duration("timeout", 60*time.Second, "per-run timeout, threaded into the engine as context cancellation (negative = unbounded)")
+		jobsDir     = fs.String("jobs-dir", "", "batch-jobs journal directory (empty = volatile jobs, no crash resume)")
+		jobsMax     = fs.Int("jobs-max", 8, "maximum concurrently active batch jobs; submissions beyond it are shed 503")
+		jobRetries  = fs.Int("job-retries", 3, "per-cell attempt budget before the cell is poisoned and its job degrades to partial")
 		drain       = fs.Duration("drain", 2*time.Minute, "graceful-shutdown drain budget for in-flight runs")
 		chaosSeed   = fs.Uint64("chaos-seed", 0, "seed for deterministic fault injection (used with -chaos-spec)")
 		chaosSpec   = fs.String("chaos-spec", "", "fault spec, e.g. 'engine.cell:panic:0.01,service.run:error:0.05,service.cache:latency:0.1:50ms'; empty = chaos off")
@@ -122,6 +135,12 @@ func parseFlags(args []string) (daemonConfig, error) {
 	if *chaosSpec == "" && *chaosSeed != 0 {
 		return daemonConfig{}, errors.New("-chaos-seed without -chaos-spec does nothing; give a spec or drop the seed")
 	}
+	if *jobsMax < 1 {
+		return daemonConfig{}, fmt.Errorf("-jobs-max %d < 1", *jobsMax)
+	}
+	if *jobRetries < 1 {
+		return daemonConfig{}, fmt.Errorf("-job-retries %d < 1", *jobRetries)
+	}
 
 	opts := service.Options{
 		Addr:              *addr,
@@ -133,6 +152,9 @@ func parseFlags(args []string) (daemonConfig, error) {
 		CacheSWR:          *cacheSWR,
 		MaxConcurrentRuns: *maxRuns,
 		RunTimeout:        *timeout,
+		JobsDir:           *jobsDir,
+		MaxJobs:           *jobsMax,
+		JobRetries:        *jobRetries,
 	}
 	// 0 means "off" at the flag level but "default" at the Options level;
 	// the Options opt-in for off is negative.

@@ -58,6 +58,24 @@ func TestParseFlagsCacheKnobs(t *testing.T) {
 	}
 }
 
+func TestParseFlagsJobs(t *testing.T) {
+	cfg, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.opts.JobsDir != "" || cfg.opts.MaxJobs != 8 || cfg.opts.JobRetries != 3 {
+		t.Errorf("jobs defaults: dir=%q max=%d retries=%d, want \"\"/8/3",
+			cfg.opts.JobsDir, cfg.opts.MaxJobs, cfg.opts.JobRetries)
+	}
+	cfg, err = parseFlags([]string{"-jobs-dir", "/var/lib/cadaptived", "-jobs-max", "2", "-job-retries", "5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.opts.JobsDir != "/var/lib/cadaptived" || cfg.opts.MaxJobs != 2 || cfg.opts.JobRetries != 5 {
+		t.Errorf("jobs flags: dir=%q max=%d retries=%d", cfg.opts.JobsDir, cfg.opts.MaxJobs, cfg.opts.JobRetries)
+	}
+}
+
 func TestParseFlagsRejects(t *testing.T) {
 	cases := []struct {
 		args []string
@@ -71,6 +89,8 @@ func TestParseFlagsRejects(t *testing.T) {
 		{[]string{"-cache-swr", "1s"}, "without -cache-ttl"},
 		{[]string{"-workers", "-1"}, "-workers"},
 		{[]string{"-chaos-seed", "7"}, "without -chaos-spec"},
+		{[]string{"-jobs-max", "0"}, "-jobs-max"},
+		{[]string{"-job-retries", "0"}, "-job-retries"},
 		{[]string{"stray"}, "unexpected arguments"},
 	}
 	for _, tc := range cases {

@@ -63,6 +63,42 @@ func (p *Pool) Workers() int { return p.workers }
 // serial path instead. Output never depends on the answer, only wall time.
 func (p *Pool) Idle() int { return len(p.tokens) }
 
+// TryToken is the pool's priority hook for background work: it claims one
+// worker token without blocking, but only while more than `reserve` tokens
+// remain free, so low-priority callers (the batch-jobs scheduler) consume
+// idle capacity without starving interactive Maps of recruits. It returns
+// an idempotent release func and true on success, or (nil, false) when the
+// pool is too busy — the caller should back off and retry, never wait.
+//
+// Two shapes keep this deadlock-free. A 1-worker pool has a zero-capacity
+// bucket — there are no helpers to protect — so TryToken trivially succeeds
+// with a no-op release rather than starving background work forever. And
+// Map never *requires* tokens (it degrades to the caller's goroutine), so a
+// token held across a long batch cell can delay recruitment but can never
+// wedge a Map. The free-count check is advisory, like Idle: a racing Map
+// may take the token first, in which case the select falls through to
+// failure instead of blocking.
+func (p *Pool) TryToken(reserve int) (release func(), ok bool) {
+	if cap(p.tokens) == 0 {
+		return func() {}, true
+	}
+	if reserve < 0 {
+		reserve = 0
+	}
+	if len(p.tokens) <= reserve {
+		return nil, false
+	}
+	select {
+	case <-p.tokens:
+		var once sync.Once
+		return func() {
+			once.Do(func() { p.tokens <- struct{}{} })
+		}, true
+	default:
+		return nil, false
+	}
+}
+
 var (
 	sharedMu sync.Mutex
 	//lint:guardedby sharedMu

@@ -49,12 +49,27 @@ const (
 	// PointServiceCache fires on the cache-fill path, after a successful
 	// run and before its body is returned for insertion.
 	PointServiceCache = "service.cache"
+	// PointJobsJournal fires at the top of every jobs-journal append, before
+	// the record is framed: an error here is indistinguishable from a failed
+	// disk write, so it proves the journal's graceful-degradation path (count
+	// the miss, keep the in-memory result, recompute after restart).
+	PointJobsJournal = "jobs.journal"
+	// PointJobsCell fires inside a batch cell attempt, before the cell runner
+	// executes — the per-cell retry/poison machinery must contain it.
+	PointJobsCell = "jobs.cell"
+	// PointJobsSched fires inside the jobs scheduler's dispatch loop; a panic
+	// here must not wedge dispatch (the scheduler relaunches itself).
+	PointJobsSched = "jobs.sched"
 )
 
 // Points lists every injection point compiled into the tree, for -chaos-spec
 // validation and documentation.
 func Points() []string {
-	return []string{PointEngineCell, PointServiceCache, PointServiceHandler, PointServiceRun}
+	return []string{
+		PointEngineCell,
+		PointJobsCell, PointJobsJournal, PointJobsSched,
+		PointServiceCache, PointServiceHandler, PointServiceRun,
+	}
 }
 
 // ErrInjected marks every error produced by the injector; tests and

@@ -1,0 +1,344 @@
+// Package jobs is cadaptived's durable batch layer: a job is a batch spec
+// (experiment IDs × seed range × maxk sweep) decomposed into per-cell work
+// items, scheduled with weighted round-robin fairness across jobs, retried
+// per cell with capped deterministic backoff, and journaled so that a crash
+// loses only the cells that had not yet completed.
+//
+// Durability model. The journal is a single append-only file of CRC-framed
+// records, one fsync'd record per *completed* cell plus job-lifecycle
+// records (created / per-cell poison / terminal status). Replay tolerates a
+// torn tail — a crash mid-write loses at most the record being written,
+// never the file — and duplicate cell records are idempotent (last wins),
+// so retries and re-submissions are free. Recovery cost is proportional to
+// the work the crash actually destroyed, the same "pay only for what the
+// adversary took" shape the paper's cache-adaptive analysis formalizes.
+package jobs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/fault"
+)
+
+// Record kinds. The payload is always kind + three length-prefixed fields
+// (a, b, c); unused fields are empty. A uniform shape keeps replay a single
+// loop and lets the fuzzer reach every branch from raw bytes.
+const (
+	// recJobCreated: a = job ID, c = normalized spec JSON.
+	recJobCreated byte = 1
+	// recCellDone: a = cell cache key, c = result body. Global, not
+	// per-job: cells are content-addressed, so any job can reuse them.
+	recCellDone byte = 2
+	// recCellPoisoned: a = job ID, b = cell cache key, c = error text.
+	recCellPoisoned byte = 3
+	// recJobTerminal: a = job ID, b = terminal status string.
+	recJobTerminal byte = 4
+)
+
+// Frame layout: [u32 LE payload length][u32 LE CRC-32 (IEEE) of payload]
+// [payload]. Payload: [kind u8][u32 LE len(a)][a][u32 LE len(b)][b]
+// [u32 LE len(c)][c].
+const (
+	frameHeader = 8
+	// minPayload is kind + three u32 length prefixes with empty fields.
+	minPayload = 1 + 3*4
+	// maxPayload bounds a single record so a corrupt length prefix cannot
+	// make replay attempt a multi-gigabyte read.
+	maxPayload = 1 << 28
+)
+
+// journalFile is the fixed file name inside the jobs directory.
+const journalFile = "jobs.journal"
+
+var errJournalClosed = errors.New("jobs: journal closed")
+
+// Journal is the append side: a single file descriptor, one fsync per
+// record by default, writes serialized by mu. The scratch buffer is reused
+// so the steady-state append path does not allocate (see the //lint:hotpath
+// contract on appendRecord).
+type Journal struct {
+	mu sync.Mutex
+	//lint:guardedby mu
+	f *os.File
+	//lint:guardedby mu
+	buf []byte
+	//lint:guardedby mu
+	closed bool
+	// nosync skips the per-record fsync; only the allocation test sets it
+	// (fsync cost would swamp AllocsPerRun, and durability is not what that
+	// test measures).
+	nosync bool
+}
+
+// record is one parsed journal record; the byte slices alias the replay
+// buffer, so consumers copy what they keep.
+type record struct {
+	kind    byte
+	a, b, c []byte
+}
+
+// Replay is what a journal's surviving records add up to: completed cell
+// bodies (content-addressed, shared across jobs) and per-job lifecycle
+// state, in journal order.
+type Replay struct {
+	// Bodies maps cell cache key → result body; duplicate records are
+	// idempotent, last wins.
+	Bodies map[string][]byte
+	// Jobs lists every journaled job in creation order.
+	Jobs []*ReplayedJob
+	// TornBytes is how much trailing garbage replay dropped (0 for a clean
+	// file); Open truncates it away so future appends land on a frame
+	// boundary.
+	TornBytes int64
+}
+
+// ReplayedJob is one job reconstructed from the journal.
+type ReplayedJob struct {
+	ID       string
+	SpecJSON []byte
+	// Poisoned maps cell cache key → the error text that exhausted its
+	// retry budget.
+	Poisoned map[string]string
+	// Terminal is the recorded end state ("completed", "partial",
+	// "cancelled") or "" if the job was still running at the crash.
+	Terminal string
+}
+
+// OpenJournal opens (creating as needed) dir's journal, replays it, and
+// truncates any torn tail so the file ends on a valid frame boundary.
+func OpenJournal(dir string) (*Journal, *Replay, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("jobs: journal dir: %w", err)
+	}
+	path := filepath.Join(dir, journalFile)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("jobs: open journal: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("jobs: read journal: %w", err)
+	}
+	recs, valid := replayBytes(data)
+	if valid < len(data) {
+		// Torn or corrupt tail: cut it off now so the next append produces a
+		// parseable file instead of burying a good record behind garbage.
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("jobs: truncate torn journal tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(valid), io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("jobs: seek journal: %w", err)
+	}
+	rep := buildReplay(recs)
+	rep.TornBytes = int64(len(data) - valid)
+	return &Journal{f: f}, rep, nil
+}
+
+// replayBytes parses data record by record and returns the parsed records
+// plus the byte offset of the last valid frame boundary. A short frame, an
+// over-long or under-short declared length, a CRC mismatch, or an
+// unparseable payload all stop the scan there — everything before the stop
+// is trusted (each record carries its own CRC), everything after is not,
+// because frame boundaries downstream of corruption cannot be recovered.
+func replayBytes(data []byte) ([]record, int) {
+	var recs []record
+	off := 0
+	for {
+		rest := data[off:]
+		if len(rest) < frameHeader {
+			break
+		}
+		n := binary.LittleEndian.Uint32(rest)
+		sum := binary.LittleEndian.Uint32(rest[4:])
+		if n < minPayload || n > maxPayload {
+			break
+		}
+		if len(rest)-frameHeader < int(n) {
+			break
+		}
+		payload := rest[frameHeader : frameHeader+int(n)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		rec, ok := parsePayload(payload)
+		if !ok {
+			break
+		}
+		recs = append(recs, rec)
+		off += frameHeader + int(n)
+	}
+	return recs, off
+}
+
+// parsePayload decodes kind + three length-prefixed fields, requiring the
+// payload to be consumed exactly and the kind to be known.
+func parsePayload(p []byte) (record, bool) {
+	rec := record{kind: p[0]}
+	if rec.kind < recJobCreated || rec.kind > recJobTerminal {
+		return record{}, false
+	}
+	rest := p[1:]
+	fields := [3][]byte{}
+	for i := range fields {
+		if len(rest) < 4 {
+			return record{}, false
+		}
+		n := binary.LittleEndian.Uint32(rest)
+		rest = rest[4:]
+		if uint32(len(rest)) < n {
+			return record{}, false
+		}
+		fields[i] = rest[:n]
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return record{}, false
+	}
+	rec.a, rec.b, rec.c = fields[0], fields[1], fields[2]
+	return rec, true
+}
+
+// buildReplay folds parsed records into the Replay summary. Unknown job IDs
+// in poison/terminal records are ignored (they can only appear if a
+// torn-tail truncation removed the creation record on an earlier
+// generation's file — stale but harmless); duplicate creation records keep
+// the first.
+func buildReplay(recs []record) *Replay {
+	rep := &Replay{Bodies: map[string][]byte{}}
+	byID := map[string]*ReplayedJob{}
+	for _, rec := range recs {
+		switch rec.kind {
+		case recJobCreated:
+			id := string(rec.a)
+			if byID[id] != nil {
+				continue
+			}
+			j := &ReplayedJob{
+				ID:       id,
+				SpecJSON: append([]byte(nil), rec.c...),
+				Poisoned: map[string]string{},
+			}
+			byID[id] = j
+			rep.Jobs = append(rep.Jobs, j)
+		case recCellDone:
+			rep.Bodies[string(rec.a)] = append([]byte(nil), rec.c...)
+		case recCellPoisoned:
+			if j := byID[string(rec.a)]; j != nil {
+				j.Poisoned[string(rec.b)] = string(rec.c)
+			}
+		case recJobTerminal:
+			if j := byID[string(rec.a)]; j != nil {
+				j.Terminal = string(rec.b)
+			}
+		}
+	}
+	return rep
+}
+
+// appendRecord frames one record into the reusable scratch buffer, writes
+// it, and (unless nosync) fsyncs — one durable record per call, so a crash
+// at any point loses at most the record being written. This is the
+// steady-state hot path of a running batch (once per completed cell); it
+// must not allocate.
+//
+//lint:hotpath
+func (j *Journal) appendRecord(kind byte, a, b string, c []byte) error {
+	//lint:ignore hotpath fault.Fire's armed path allocates (error construction); disarmed it is one atomic load, and chaos runs are not steady state
+	if err := fault.Fire(fault.PointJobsJournal); err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return errJournalClosed
+	}
+	buf := j.buf[:0]
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0)
+	buf = append(buf, kind)
+	buf = appendU32(buf, uint32(len(a)))
+	buf = append(buf, a...)
+	buf = appendU32(buf, uint32(len(b)))
+	buf = append(buf, b...)
+	buf = appendU32(buf, uint32(len(c)))
+	buf = append(buf, c...)
+	payload := buf[frameHeader:]
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(payload))
+	j.buf = buf
+	if _, err := j.f.Write(buf); err != nil {
+		return fmt.Errorf("jobs: journal write: %w", err)
+	}
+	if !j.nosync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("jobs: journal sync: %w", err)
+		}
+	}
+	return nil
+}
+
+func appendU32(buf []byte, v uint32) []byte {
+	return append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// AppendJobCreated records a new job and its normalized spec.
+func (j *Journal) AppendJobCreated(id string, specJSON []byte) error {
+	return j.appendRecord(recJobCreated, id, "", specJSON)
+}
+
+// AppendCell records a completed cell's body under its cache key.
+func (j *Journal) AppendCell(key string, body []byte) error {
+	return j.appendRecord(recCellDone, key, "", body)
+}
+
+// AppendPoison records that a cell exhausted its retry budget for jobID.
+func (j *Journal) AppendPoison(jobID, key, errText string) error {
+	return j.appendRecord(recCellPoisoned, jobID, key, []byte(errText))
+}
+
+// AppendTerminal records a job's end state.
+func (j *Journal) AppendTerminal(jobID, status string) error {
+	return j.appendRecord(recJobTerminal, jobID, status, nil)
+}
+
+// Close syncs and closes the journal; further appends fail with a closed
+// error. Close writes no terminal records — a job interrupted by shutdown
+// stays resumable.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if !j.nosync {
+		if err := j.f.Sync(); err != nil {
+			j.f.Close()
+			return fmt.Errorf("jobs: journal close sync: %w", err)
+		}
+	}
+	return j.f.Close()
+}
+
+// abandon closes the file descriptor without syncing or marking records —
+// the closest an in-process test can get to SIGKILL. Because every append
+// already fsync'd its own record, abandon loses nothing that was journaled.
+func (j *Journal) abandon() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return
+	}
+	j.closed = true
+	j.f.Close()
+}

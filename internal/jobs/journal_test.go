@@ -1,0 +1,247 @@
+package jobs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func journalPath(dir string) string { return filepath.Join(dir, journalFile) }
+
+// mustAppend writes one record of each caller-chosen shape, failing the test
+// on error; journal appends are fsync'd, so the file on disk is always
+// current afterwards.
+func mustAppend(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("append: %v", err)
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, rep, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	if len(rep.Jobs) != 0 || len(rep.Bodies) != 0 || rep.TornBytes != 0 {
+		t.Fatalf("fresh journal replay not empty: %+v", rep)
+	}
+	spec := []byte(`{"experiments":["E1"],"seed_count":2}`)
+	mustAppend(t, j.AppendJobCreated("j1", spec))
+	mustAppend(t, j.AppendCell("key1", []byte("body1")))
+	mustAppend(t, j.AppendPoison("j1", "key2", "boom"))
+	mustAppend(t, j.AppendTerminal("j1", JobPartial))
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2, rep2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	if rep2.TornBytes != 0 {
+		t.Fatalf("clean file reports torn bytes: %d", rep2.TornBytes)
+	}
+	if got := rep2.Bodies["key1"]; !bytes.Equal(got, []byte("body1")) {
+		t.Fatalf("body round-trip: got %q", got)
+	}
+	if len(rep2.Jobs) != 1 {
+		t.Fatalf("jobs: got %d, want 1", len(rep2.Jobs))
+	}
+	rj := rep2.Jobs[0]
+	if rj.ID != "j1" || !bytes.Equal(rj.SpecJSON, spec) {
+		t.Fatalf("job round-trip: %+v", rj)
+	}
+	if rj.Poisoned["key2"] != "boom" {
+		t.Fatalf("poison round-trip: %+v", rj.Poisoned)
+	}
+	if rj.Terminal != JobPartial {
+		t.Fatalf("terminal round-trip: %q", rj.Terminal)
+	}
+}
+
+// buildTestJournal writes a few records and returns the file bytes plus the
+// record boundary offsets (file size after each append).
+func buildTestJournal(t *testing.T) (data []byte, bounds []int64) {
+	t.Helper()
+	dir := t.TempDir()
+	j, _, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	appends := []func() error{
+		func() error { return j.AppendJobCreated("j1", []byte(`{"experiments":["E1"]}`)) },
+		func() error { return j.AppendCell("cell-a", []byte("alpha")) },
+		func() error { return j.AppendCell("cell-b", []byte("beta")) },
+		func() error { return j.AppendPoison("j1", "cell-c", "gamma failed") },
+		func() error { return j.AppendTerminal("j1", JobPartial) },
+	}
+	for _, ap := range appends {
+		mustAppend(t, ap())
+		fi, err := os.Stat(journalPath(dir))
+		if err != nil {
+			t.Fatalf("stat: %v", err)
+		}
+		bounds = append(bounds, fi.Size())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	data, err = os.ReadFile(journalPath(dir))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	return data, bounds
+}
+
+// TestJournalTruncatedTailProperty checks every possible torn tail: for each
+// prefix of a valid journal, replay must (a) never panic, (b) stop at a true
+// frame boundary no later than the cut, (c) recover exactly the records whose
+// frames survived whole, and (d) be stable — replaying the valid prefix again
+// reproduces the same parse.
+func TestJournalTruncatedTailProperty(t *testing.T) {
+	data, bounds := buildTestJournal(t)
+	full, validFull := replayBytes(data)
+	if validFull != len(data) {
+		t.Fatalf("intact journal parsed to %d of %d bytes", validFull, len(data))
+	}
+	if len(full) != len(bounds) {
+		t.Fatalf("intact journal parsed %d records, want %d", len(full), len(bounds))
+	}
+	for n := 0; n <= len(data); n++ {
+		recs, valid := replayBytes(data[:n])
+		if valid > n {
+			t.Fatalf("prefix %d: valid offset %d beyond cut", n, valid)
+		}
+		// The surviving records must be exactly those whose frames fit in n.
+		want := 0
+		for _, b := range bounds {
+			if int64(n) >= b {
+				want++
+			}
+		}
+		if len(recs) != want {
+			t.Fatalf("prefix %d: got %d records, want %d", n, len(recs), want)
+		}
+		if want > 0 && valid != int(bounds[want-1]) {
+			t.Fatalf("prefix %d: valid offset %d, want boundary %d", n, valid, bounds[want-1])
+		}
+		for i, rec := range recs {
+			if rec.kind != full[i].kind || !bytes.Equal(rec.a, full[i].a) ||
+				!bytes.Equal(rec.b, full[i].b) || !bytes.Equal(rec.c, full[i].c) {
+				t.Fatalf("prefix %d: record %d diverges from intact parse", n, i)
+			}
+		}
+		recs2, valid2 := replayBytes(data[:valid])
+		if valid2 != valid || len(recs2) != len(recs) {
+			t.Fatalf("prefix %d: reparse of valid prefix unstable (%d/%d vs %d/%d)",
+				n, valid2, len(recs2), valid, len(recs))
+		}
+	}
+}
+
+// TestJournalOpenTruncatesTornTail proves a torn write is dropped, not fatal:
+// Open on a file cut mid-record truncates to the last good boundary, reports
+// the loss, and appends land cleanly afterwards.
+func TestJournalOpenTruncatesTornTail(t *testing.T) {
+	data, bounds := buildTestJournal(t)
+	cut := int(bounds[2]) + 5 // mid-way through the 4th record's frame
+	dir := t.TempDir()
+	if err := os.WriteFile(journalPath(dir), data[:cut], 0o644); err != nil {
+		t.Fatalf("write torn file: %v", err)
+	}
+	j, rep, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatalf("OpenJournal on torn file: %v", err)
+	}
+	if rep.TornBytes != int64(cut)-bounds[2] {
+		t.Fatalf("TornBytes = %d, want %d", rep.TornBytes, int64(cut)-bounds[2])
+	}
+	if len(rep.Bodies) != 2 || rep.Jobs[0].Terminal != "" {
+		t.Fatalf("torn replay wrong: bodies=%d terminal=%q", len(rep.Bodies), rep.Jobs[0].Terminal)
+	}
+	fi, err := os.Stat(journalPath(dir))
+	if err != nil {
+		t.Fatalf("stat: %v", err)
+	}
+	if fi.Size() != bounds[2] {
+		t.Fatalf("torn tail not truncated: size %d, want %d", fi.Size(), bounds[2])
+	}
+	// Append after the truncation: the new record must parse on reopen.
+	mustAppend(t, j.AppendCell("cell-d", []byte("delta")))
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	j2, rep2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	if rep2.TornBytes != 0 {
+		t.Fatalf("reopen after repair reports torn bytes: %d", rep2.TornBytes)
+	}
+	if got := rep2.Bodies["cell-d"]; !bytes.Equal(got, []byte("delta")) {
+		t.Fatalf("post-repair append lost: %q", got)
+	}
+}
+
+// TestJournalDuplicateCellLastWins: duplicate cell records are idempotent and
+// the latest body wins, so retried appends and re-submissions are harmless.
+func TestJournalDuplicateCellLastWins(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	mustAppend(t, j.AppendCell("k", []byte("first")))
+	mustAppend(t, j.AppendCell("k", []byte("second")))
+	mustAppend(t, j.AppendCell("k", []byte("third")))
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	j2, rep, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	if got := rep.Bodies["k"]; !bytes.Equal(got, []byte("third")) {
+		t.Fatalf("duplicate cell replay: got %q, want last write", got)
+	}
+}
+
+// TestJournalCorruptionStopsScan: a bit flip inside a record fails its CRC
+// and replay refuses everything from there on — frame boundaries downstream
+// of corruption cannot be trusted, even if later records happen to be intact.
+func TestJournalCorruptionStopsScan(t *testing.T) {
+	data, bounds := buildTestJournal(t)
+	corrupt := append([]byte(nil), data...)
+	corrupt[bounds[1]+frameHeader+2] ^= 0xff // inside record 3's payload
+	recs, valid := replayBytes(corrupt)
+	if len(recs) != 2 {
+		t.Fatalf("corrupt scan returned %d records, want 2", len(recs))
+	}
+	if valid != int(bounds[1]) {
+		t.Fatalf("corrupt scan valid offset %d, want %d", valid, bounds[1])
+	}
+}
+
+// TestJournalAppendAfterClose: appends on a closed journal fail loudly rather
+// than writing to a dead descriptor, and Close is idempotent.
+func TestJournalAppendAfterClose(t *testing.T) {
+	j, _, err := OpenJournal(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := j.AppendCell("k", nil); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

@@ -1,0 +1,88 @@
+package jobs
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSpecNormalizeDefaults(t *testing.T) {
+	def := core.DefaultConfig()
+	got, err := Spec{Experiments: []string{"E1"}}.normalize(4096)
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	if got.SeedStart != def.Seed || got.SeedCount != 1 || got.Trials != def.Trials ||
+		got.MaxKMax != def.MaxK || got.MaxKMin != def.MaxK || got.Weight != 1 {
+		t.Fatalf("defaults: %+v (core default %+v)", got, def)
+	}
+	if n := len(got.cells()); n != 1 {
+		t.Fatalf("default spec yields %d cells, want 1", n)
+	}
+}
+
+func TestSpecNormalizeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		max  int
+	}{
+		{"no experiments", Spec{}, 4096},
+		{"unknown experiment", Spec{Experiments: []string{"E999"}}, 4096},
+		{"duplicate experiment", Spec{Experiments: []string{"E1", "E1"}}, 4096},
+		{"negative seed count", Spec{Experiments: []string{"E1"}, SeedCount: -1}, 4096},
+		{"inverted maxk range", Spec{Experiments: []string{"E1"}, MaxKMin: 5, MaxKMax: 4}, 4096},
+		{"weight too large", Spec{Experiments: []string{"E1"}, Weight: maxWeight + 1}, 4096},
+		{"negative weight", Spec{Experiments: []string{"E1"}, Weight: -1}, 4096},
+		{"over the cell cap", Spec{Experiments: []string{"E1"}, SeedCount: 10}, 9},
+		{"invalid corner config", Spec{Experiments: []string{"E1"}, Trials: -1}, 4096},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.spec.normalize(tc.max); !errors.Is(err, ErrBadSpec) {
+				t.Fatalf("want ErrBadSpec, got %v", err)
+			}
+		})
+	}
+	// The unknown-experiment rejection must also unwrap to the core sentinel,
+	// so the service maps it to 404 like /v1/run does.
+	_, err := Spec{Experiments: []string{"E999"}}.normalize(4096)
+	if !errors.Is(err, core.ErrUnknownExperiment) {
+		t.Fatalf("unknown experiment should wrap core.ErrUnknownExperiment: %v", err)
+	}
+}
+
+// TestSpecCellsCanonicalOrder pins the enumeration order (experiment, then
+// seed offset, then maxk) and the content addresses: journal replay, status
+// indices, and the /v1/run cache must all agree on cell identity.
+func TestSpecCellsCanonicalOrder(t *testing.T) {
+	spec, err := Spec{
+		Experiments: []string{"E1", "E3"},
+		SeedStart:   10, SeedCount: 2,
+		Trials:  2,
+		MaxKMin: 4, MaxKMax: 5,
+	}.normalize(4096)
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	cells := spec.cells()
+	if len(cells) != 8 {
+		t.Fatalf("cell count: %d, want 8", len(cells))
+	}
+	i := 0
+	for _, id := range []string{"E1", "E3"} {
+		for seed := uint64(10); seed <= 11; seed++ {
+			for k := 4; k <= 5; k++ {
+				c := cells[i]
+				if c.Experiment != id || c.Config.Seed != seed || c.Config.MaxK != k || c.Config.Trials != 2 {
+					t.Fatalf("cell %d out of canonical order: %+v", i, c)
+				}
+				if want := core.CacheKey(id, c.Config); c.Key != want {
+					t.Fatalf("cell %d key %s, want the /v1/run cache key %s", i, c.Key, want)
+				}
+				i++
+			}
+		}
+	}
+}

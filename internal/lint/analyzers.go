@@ -27,7 +27,7 @@ func Analyzers() []*Analyzer {
 func DefaultScopes() map[string]Scope {
 	return map[string]Scope{
 		"norand":    {Exclude: []string{"internal/xrand"}},
-		"norecover": {Only: []string{"cmd", "internal/engine", "internal/service"}},
-		"notime":    {Only: []string{"internal/core", "internal/service"}},
+		"norecover": {Only: []string{"cmd", "internal/engine", "internal/jobs", "internal/service"}},
+		"notime":    {Only: []string{"internal/core", "internal/jobs", "internal/service"}},
 	}
 }

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/jobs"
 )
 
 // chaosSpec arms every injection point the request path crosses: handler
@@ -24,7 +25,14 @@ const chaosSpec = "service.handler:panic:0.15," +
 	"service.run:latency:0.5:5ms," + // holds the run slot, so the admission queue actually fills
 	"engine.cell:panic:0.02," +
 	"service.cache:error:0.10," +
-	"service.cache:latency:0.20:2ms"
+	"service.cache:latency:0.20:2ms," +
+	// The batch layer's own blast radii: cell attempts failing (consumes
+	// retry budget, may poison), journal appends failing (job proceeds
+	// volatile, counted), and scheduler-loop panics (contained, loop
+	// restarted).
+	"jobs.cell:error:0.10," +
+	"jobs.journal:error:0.05," +
+	"jobs.sched:panic:0.05"
 
 // TestChaosStorm is the capstone for the failure model: a deterministic
 // fault storm of concurrent requests against a real Server, driven through
@@ -107,7 +115,10 @@ func TestChaosStorm(t *testing.T) {
 	// cache shards put the storm on the sharded paths for real: keys spread
 	// over shards, so singleflight tables, eviction policies, and the
 	// per-shard counters all run concurrently under the fault spec.
-	s, err := New(Options{Addr: "127.0.0.1:0", MaxConcurrentRuns: 1, MaxQueuedRuns: 4, CacheEntries: 16, CacheShards: 4})
+	// JobsDir arms the journal for real, so jobs.journal faults hit actual
+	// fsync'd appends and the jobs ledger is fed by the same durable path
+	// production uses.
+	s, err := New(Options{Addr: "127.0.0.1:0", MaxConcurrentRuns: 1, MaxQueuedRuns: 4, CacheEntries: 16, CacheShards: 4, JobsDir: t.TempDir()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,6 +129,7 @@ func TestChaosStorm(t *testing.T) {
 		mu       sync.Mutex
 		statuses = map[int]int{} // terminal RetryError statuses, by code
 		failures []string
+		jobIDs   []string
 	)
 	var wg sync.WaitGroup
 	for g := 0; g < stormGoroutines; g++ {
@@ -136,6 +148,36 @@ func TestChaosStorm(t *testing.T) {
 			c.Seed = uint64(g) // deterministic, distinct jitter stream per client
 			c.MaxAttempts = 8
 			c.sleep = func(time.Duration) {} // retry instantly; latency faults still sleep server-side
+			// Every third client also submits a batch job over the same 7
+			// storm keys, so batch cells and interactive requests contend
+			// for the same admission queue, singleflight, and cache under
+			// the fault spec. One job gets cancelled mid-storm to exercise
+			// the cancellation arm of the ledger.
+			if g%3 == 0 {
+				st, err := c.SubmitJob(context.Background(), jobs.Spec{
+					Experiments: []string{"E1"},
+					SeedStart:   7, SeedCount: configs,
+					Trials:  2,
+					MaxKMin: 4, MaxKMax: 4,
+					Weight: 1 + g%3 + g/3, // distinct WRR weights across jobs
+				})
+				if err != nil {
+					mu.Lock()
+					failures = append(failures, fmt.Sprintf("goroutine %d: job submit: %v", g, err))
+					mu.Unlock()
+				} else {
+					mu.Lock()
+					jobIDs = append(jobIDs, st.ID)
+					mu.Unlock()
+					if g == 9 {
+						if _, err := c.CancelJob(context.Background(), st.ID); err != nil {
+							mu.Lock()
+							failures = append(failures, fmt.Sprintf("goroutine %d: job cancel: %v", g, err))
+							mu.Unlock()
+						}
+					}
+				}
+			}
 			for r := 0; r < requestsPerG; r++ {
 				id, cfg := cfgFor(g*requestsPerG + r)
 				resp, err := c.Run(context.Background(), id, cfg)
@@ -191,6 +233,73 @@ func TestChaosStorm(t *testing.T) {
 		}
 	}
 
+	// Every storm job must reach a terminal state through the chaos, and its
+	// per-job cell counts must account for every cell.
+	if len(jobIDs) == 0 {
+		t.Fatal("storm submitted no jobs; the batch mix exercised nothing")
+	}
+	for _, id := range jobIDs {
+		wctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		st, err := final.WaitJob(wctx, id)
+		cancel()
+		if err != nil {
+			t.Fatalf("job %s never reached a terminal state: %v", id, err)
+		}
+		switch st.Status {
+		case jobs.JobCompleted, jobs.JobPartial, jobs.JobCancelled:
+		default:
+			t.Errorf("job %s finished with unexpected status %q", id, st.Status)
+		}
+	}
+
+	// Terminal job status can precede the last detached cell resolving, so
+	// drain is a metrics condition, not a status condition: poll until the
+	// jobs ledger shows nothing pending or in flight, then hold it to exact
+	// conservation — submitted work is completed, poisoned, or cancelled,
+	// never lost, whatever faults fired.
+	var jl jobs.Ledger
+	for deadline := time.Now().Add(60 * time.Second); ; {
+		jl = fetchMetrics(t, srv.URL).Jobs
+		if jl.JobsActive == 0 && jl.CellsInFlight == 0 && jl.CellsPending == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("jobs ledger never drained: %+v", jl)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if jl.JobsSubmitted != int64(len(jobIDs)) {
+		t.Errorf("jobs submitted ledger %d, want %d", jl.JobsSubmitted, len(jobIDs))
+	}
+	if got := jl.JobsCompleted + jl.JobsPartial + jl.JobsCancelled; got != jl.JobsSubmitted {
+		t.Errorf("jobs conservation violated: completed(%d) + partial(%d) + cancelled(%d) = %d, want submitted(%d)",
+			jl.JobsCompleted, jl.JobsPartial, jl.JobsCancelled, got, jl.JobsSubmitted)
+	}
+	if got := jl.CellsCompleted + jl.CellsPoisoned + jl.CellsCancelled; got != jl.CellsSubmitted {
+		t.Errorf("cells conservation violated: completed(%d) + poisoned(%d) + cancelled(%d) = %d, want submitted(%d)",
+			jl.CellsCompleted, jl.CellsPoisoned, jl.CellsCancelled, got, jl.CellsSubmitted)
+	}
+	// Completed batch cells were served by the same cached path as the
+	// interactive storm, so their tables must equal the baseline bytes.
+	for _, id := range jobIDs {
+		st, err := final.Job(context.Background(), id, true)
+		if err != nil {
+			t.Fatalf("job %s final status: %v", id, err)
+		}
+		if st.Completed+st.Poisoned+st.Cancelled != st.Total || st.Running != 0 || st.Pending != 0 {
+			t.Errorf("job %s cell counts do not account for every cell: %+v", id, st)
+		}
+		for _, cell := range st.Cells {
+			if cell.State != jobs.CellDone.String() || len(cell.Table) == 0 {
+				continue
+			}
+			if normalize(cell.Table) != baseline[cell.Seed] {
+				t.Errorf("job %s cell seed %d differs from fault-free baseline", id, cell.Seed)
+			}
+		}
+	}
+	t.Logf("jobs ledger: %+v", jl)
+
 	// The conservation ledger must balance exactly, whatever the schedule did.
 	m := fetchMetrics(t, srv.URL)
 	svc, cache := m.Service, m.Cache
@@ -223,14 +332,26 @@ func TestChaosStorm(t *testing.T) {
 	t.Logf("ledger: requests=%d hits=%d misses=%d coalesced=%d sheds=%d panics=%d",
 		svc.Requests, cache.Hits, cache.Misses, cache.Coalesced, svc.Sheds, svc.Panics)
 
-	// The server must still be plainly healthy (not draining, not wedged).
+	// The server must still be plainly healthy (not draining, not wedged),
+	// and the health body's load figures must agree with the drained state.
 	hresp, err := http.Get(srv.URL + "/healthz")
 	if err != nil {
 		t.Fatalf("healthz after storm: %v", err)
 	}
-	hresp.Body.Close()
+	defer hresp.Body.Close()
 	if hresp.StatusCode != http.StatusOK {
 		t.Errorf("healthz after storm: status %d, want 200", hresp.StatusCode)
+	}
+	var health struct {
+		Status     string `json:"status"`
+		QueueDepth int64  `json:"queue_depth"`
+		ActiveJobs int64  `json:"active_jobs"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatalf("healthz body is not JSON: %v", err)
+	}
+	if health.Status != "ok" || health.QueueDepth != 0 || health.ActiveJobs != 0 {
+		t.Errorf("healthz after drain: %+v, want status ok with zero queue depth and active jobs", health)
 	}
 }
 

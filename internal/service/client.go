@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/jobs"
 	"repro/internal/xrand"
 )
 
@@ -128,6 +129,89 @@ func (c *Client) Experiments(ctx context.Context) ([]ExperimentInfo, error) {
 		return nil, err
 	}
 	return out.Experiments, nil
+}
+
+// SubmitJob POSTs a batch spec to /v1/jobs and returns the accepted job's
+// initial status. Retrying a submission that actually landed creates a
+// second job, but its cells are content-addressed: the duplicate resolves
+// from the cache, so over-submission costs bookkeeping, not compute.
+func (c *Client) SubmitJob(ctx context.Context, spec jobs.Spec) (*jobs.Status, error) {
+	reqBody, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	var out jobs.Status
+	err = c.retry(ctx, func() (*http.Response, error) {
+		req, rerr := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/jobs", bytes.NewReader(reqBody))
+		if rerr != nil {
+			return nil, rerr
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return c.httpClient().Do(req)
+	}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Job fetches GET /v1/jobs/{id}; withTables includes per-cell detail and
+// the completed cells' tables.
+func (c *Client) Job(ctx context.Context, id string, withTables bool) (*jobs.Status, error) {
+	url := c.BaseURL + "/v1/jobs/" + id
+	if !withTables {
+		url += "?tables=0"
+	}
+	var out jobs.Status
+	err := c.retry(ctx, func() (*http.Response, error) {
+		req, rerr := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if rerr != nil {
+			return nil, rerr
+		}
+		return c.httpClient().Do(req)
+	}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// CancelJob DELETEs /v1/jobs/{id} and returns the post-cancel status.
+// Cancellation is idempotent server-side, so retries are safe.
+func (c *Client) CancelJob(ctx context.Context, id string) (*jobs.Status, error) {
+	var out jobs.Status
+	err := c.retry(ctx, func() (*http.Response, error) {
+		req, rerr := http.NewRequestWithContext(ctx, http.MethodDelete, c.BaseURL+"/v1/jobs/"+id, nil)
+		if rerr != nil {
+			return nil, rerr
+		}
+		return c.httpClient().Do(req)
+	}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// WaitJob polls GET /v1/jobs/{id} (without tables) until the job leaves
+// "running" or ctx expires, pacing polls with the client's deterministic
+// backoff discipline capped at MaxDelay.
+func (c *Client) WaitJob(ctx context.Context, id string) (*jobs.Status, error) {
+	for poll := 1; ; poll++ {
+		st, err := c.Job(ctx, id, false)
+		if err != nil {
+			return nil, err
+		}
+		if st.Status != jobs.JobRunning {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		default:
+		}
+		c.sleepFn()(c.backoff(poll, 0))
+	}
 }
 
 func (c *Client) httpClient() *http.Client {

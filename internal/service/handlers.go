@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/jobs"
 )
 
 // runRequest is the POST /v1/run body. Absent config fields keep the
@@ -68,11 +69,16 @@ func writeError(w http.ResponseWriter, err error) {
 		resp.Field = jsonFieldForConfigField[ce.Field]
 	case errors.Is(err, core.ErrUnknownExperiment):
 		status = http.StatusNotFound
-	case errors.Is(err, ErrOverloaded):
-		// Shed by the bounded admission queue: tell well-behaved clients
-		// when to come back instead of letting them hammer a loaded server.
+	case errors.Is(err, jobs.ErrBadSpec):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrOverloaded), errors.Is(err, jobs.ErrTooManyJobs):
+		// Shed by the bounded admission queue (or the jobs admission bound):
+		// tell well-behaved clients when to come back instead of letting
+		// them hammer a loaded server.
 		status = http.StatusServiceUnavailable
 		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, jobs.ErrClosed):
+		status = http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -149,21 +155,75 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	}{out})
 }
 
+// handleJobSubmit serves POST /v1/jobs: validate, admit, journal, return
+// 202 with the job's initial status — the cells run in the background.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec jobs.Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid job spec: " + err.Error()})
+		return
+	}
+	st, err := s.jobs.Submit(spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// handleJobList serves GET /v1/jobs.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []*jobs.Status `json:"jobs"`
+	}{s.jobs.List()})
+}
+
+// handleJobGet serves GET /v1/jobs/{id}: progress counts plus per-cell
+// detail with the completed cells' tables — partial results stream out
+// while the job still runs. ?tables=0 omits the cell detail.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	withCells := r.URL.Query().Get("tables") != "0"
+	st, ok := s.jobs.Status(r.PathValue("id"), withCells)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job " + r.PathValue("id")})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleJobCancel serves DELETE /v1/jobs/{id}: pending cells cancel
+// immediately, in-flight cells are interrupted, and the cancellation is
+// journaled so a restart does not resurrect the job.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.jobs.Cancel(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job " + r.PathValue("id")})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
 // handleHealthz serves GET /healthz. Once Shutdown has begun it answers
 // 503 "draining" so load balancers stop routing to this instance while its
-// in-flight runs finish.
+// in-flight runs finish. The body carries the admission queue depth and
+// the active batch-job count so load balancers can shed proportionally
+// *before* requests start bouncing off the 503 admission path.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status, body := http.StatusOK, "ok"
 	if s.Draining() {
 		status, body = http.StatusServiceUnavailable, "draining"
 	}
 	writeJSON(w, status, struct {
-		Status string `json:"status"`
-	}{body})
+		Status     string `json:"status"`
+		QueueDepth int64  `json:"queue_depth"`
+		ActiveJobs int64  `json:"active_jobs"`
+	}{body, s.met.queued.Load(), s.jobs.Ledger().JobsActive})
 }
 
 // handleMetrics serves GET /metrics.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK,
-		s.met.snapshot(s.cache.stats(), s.opts, s.workers(), s.Draining()))
+		s.met.snapshot(s.cache.stats(), s.opts, s.workers(), s.Draining(), s.jobs.Ledger()))
 }

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/jobs"
 )
 
 // metrics aggregates the service's observability counters. The cache
@@ -103,11 +104,18 @@ type metricsSnapshot struct {
 		// analogue of Table.Metrics.Utilisation.
 		Utilisation float64 `json:"utilisation"`
 	} `json:"engine"`
+	// Jobs is the batch-jobs conservation ledger. At drain
+	// (cells_in_flight == cells_pending == 0):
+	// cells_submitted == cells_completed + cells_poisoned + cells_cancelled,
+	// and submitted == active + completed + partial + cancelled — the jobs
+	// analogue of the cache ledger's conservation, asserted by the chaos
+	// suite.
+	Jobs jobs.Ledger `json:"jobs"`
 }
 
 // snapshot assembles the exported view from the shard aggregate and the
 // server-level ledgers.
-func (m *metrics) snapshot(cs cacheStats, opts Options, workers int, draining bool) metricsSnapshot {
+func (m *metrics) snapshot(cs cacheStats, opts Options, workers int, draining bool, jl jobs.Ledger) metricsSnapshot {
 	var s metricsSnapshot
 	s.Cache.Hits = cs.Hits
 	s.Cache.Misses = cs.Misses
@@ -140,5 +148,6 @@ func (m *metrics) snapshot(cs cacheStats, opts Options, workers int, draining bo
 	if s.Engine.WallSeconds > 0 && workers > 0 {
 		s.Engine.Utilisation = s.Engine.BusySeconds / (s.Engine.WallSeconds * float64(workers))
 	}
+	s.Jobs = jl
 	return s
 }

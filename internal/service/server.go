@@ -37,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/fault"
+	"repro/internal/jobs"
 )
 
 // ErrOverloaded is returned (and mapped to 503 + Retry-After) when every
@@ -99,6 +100,20 @@ type Options struct {
 	// value means "no timeout" — runs are unbounded (an explicit opt-in,
 	// because the zero value must keep meaning "default", not "forever").
 	RunTimeout time.Duration
+	// JobsDir is the batch-jobs journal directory; "" (the default) runs
+	// jobs volatile — they work, but do not survive a restart.
+	JobsDir string
+	// MaxJobs bounds concurrently active batch jobs; submissions beyond it
+	// are shed 503. Default 8; negative rejects every submission.
+	MaxJobs int
+	// JobRetries is the per-cell attempt budget before a batch cell is
+	// poisoned and its job degrades to "partial". Default 3.
+	JobRetries int
+	// JobConcurrency bounds batch cells in flight across all jobs; batch
+	// work shares the run admission queue with interactive requests, so
+	// this caps how much of that queue background work may occupy.
+	// Default 2.
+	JobConcurrency int
 }
 
 func (o Options) withDefaults() Options {
@@ -129,6 +144,15 @@ func (o Options) withDefaults() Options {
 	if o.RunTimeout == 0 {
 		o.RunTimeout = 60 * time.Second
 	}
+	if o.MaxJobs == 0 {
+		o.MaxJobs = 8
+	}
+	if o.JobRetries == 0 {
+		o.JobRetries = 3
+	}
+	if o.JobConcurrency == 0 {
+		o.JobConcurrency = 2
+	}
 	return o
 }
 
@@ -138,6 +162,7 @@ type Server struct {
 	cache    *shardedCache
 	sem      chan struct{} // bounds concurrent experiment runs
 	met      metrics
+	jobs     *jobs.Manager
 	mux      *http.ServeMux
 	handler  http.Handler // mux wrapped in recovery middleware
 	http     *http.Server
@@ -183,9 +208,33 @@ func New(opts Options) (*Server, error) {
 		sem:   make(chan struct{}, opts.MaxConcurrentRuns),
 		runFn: core.RunContext,
 	}
+	// Batch cells run through the exact cached path interactive requests
+	// use: they share the content-addressed cache, the singleflight, and
+	// the bounded admission queue, so duplicate submissions and retried
+	// cells are free, and admission sheds surface to the jobs layer as
+	// transient (retry without burning the cell's attempt budget).
+	jm, err := jobs.Open(jobs.Options{
+		Dir:             opts.JobsDir,
+		MaxJobs:         opts.MaxJobs,
+		Retries:         opts.JobRetries,
+		CellConcurrency: opts.JobConcurrency,
+		Transient:       func(err error) bool { return errors.Is(err, ErrOverloaded) },
+		Run: func(ctx context.Context, id string, cfg core.Config) ([]byte, error) {
+			body, _, _, err := s.runCached(ctx, id, cfg)
+			return body, err
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.jobs = jm
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.handler = s.withRecovery(s.mux)
@@ -235,7 +284,16 @@ func (s *Server) Serve(l net.Listener) error { return s.http.Serve(l) }
 // before Shutdown returns.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
-	return s.http.Shutdown(ctx)
+	// Drain the batch layer first: no new cells dispatch, in-flight cells
+	// get the remaining budget to finish and journal. Close writes no
+	// terminal records, so interrupted jobs resume on the next start —
+	// shutdown is indistinguishable from a crash as far as the journal is
+	// concerned, by design.
+	jerr := s.jobs.Close(ctx)
+	if err := s.http.Shutdown(ctx); err != nil {
+		return err
+	}
+	return jerr
 }
 
 // Draining reports whether Shutdown has begun.

@@ -81,6 +81,20 @@ echo "== chaos smoke =="
 # fault paths (panic containment, queue shedding) are also race-checked.
 go test -race -count=1 -run 'TestChaos' ./internal/service/
 
+echo "== go test -race (durable batch jobs) =="
+# The jobs layer end to end under the race detector: scheduler fairness,
+# retry/poison accounting, journal replay, manager kill/resume, and the
+# service-level jobs API including resume across server instances.
+go test -race -count=1 -run 'TestJob|TestJournal|TestSpec|TestRetry|TestTransient|TestCancel|TestSubmit|TestWeighted|TestKillRestartResume|TestResume|TestRestore|TestSchedulerFaults|TestServiceJobs|TestServiceHealthz' \
+    ./internal/jobs/ \
+    ./internal/service/
+
+echo "== kill-and-restart smoke =="
+# The durability claim, end to end: SIGKILL a real cadaptived mid-job (no
+# shutdown path runs), restart it on the same -jobs-dir, and assert the job
+# completes while only the journal-missing cells recompute.
+go test -race -count=1 -run 'TestDaemonKillRestartResume' ./cmd/cadaptived/
+
 echo "== go test -race (shared cache + smoothing) =="
 go test -race -short \
     ./internal/sharedcache/ \
@@ -104,5 +118,6 @@ go test -run '^$' -fuzz '^FuzzParseAnnotation$' -fuzztime 5s ./internal/lint/
 go test -run '^$' -fuzz '^FuzzKernelsMatchOracles$' -fuzztime 5s ./internal/paging/
 go test -run '^$' -fuzz '^FuzzParallelMatchesSerial$' -fuzztime 5s ./internal/paging/
 go test -run '^$' -fuzz '^FuzzShardRouting$' -fuzztime 5s ./internal/service/
+go test -run '^$' -fuzz '^FuzzJournalReplay$' -fuzztime 5s ./internal/jobs/
 
 echo "CI OK"
