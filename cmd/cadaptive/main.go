@@ -260,15 +260,18 @@ func runBatch(ctx context.Context, stdout io.Writer, a batchArgs) error {
 	}
 	fmt.Fprintf(stdout, "job %s: %d cells (%d completed) on %s\n", st.ID, st.Total, st.Completed, a.server)
 
+	// WaitJob and Job return (nil, err) on failure and reassign st, so hold
+	// the ID in a local — dereferencing st in the error branches would panic.
+	id := st.ID
 	if st.Status == jobs.JobRunning {
-		if st, err = c.WaitJob(ctx, st.ID); err != nil {
-			return fmt.Errorf("waiting for job %s: %w", st.ID, err)
+		if st, err = c.WaitJob(ctx, id); err != nil {
+			return fmt.Errorf("waiting for job %s: %w", id, err)
 		}
 	}
 	// One final fetch with tables: WaitJob polls without them.
-	st, err = c.Job(ctx, st.ID, true)
+	st, err = c.Job(ctx, id, true)
 	if err != nil {
-		return fmt.Errorf("fetching job %s tables: %w", st.ID, err)
+		return fmt.Errorf("fetching job %s tables: %w", id, err)
 	}
 	fmt.Fprintf(stdout, "job %s %s: %d/%d completed, %d poisoned, %d cancelled\n",
 		st.ID, st.Status, st.Completed, st.Total, st.Poisoned, st.Cancelled)

@@ -78,12 +78,20 @@ func (p *Pool) Idle() int { return len(p.tokens) }
 // wedge a Map. The free-count check is advisory, like Idle: a racing Map
 // may take the token first, in which case the select falls through to
 // failure instead of blocking.
+//
+// reserve is clamped to cap(tokens)-1 so background work can always claim
+// at least one token when the pool is fully idle: a 2-worker pool has a
+// 1-token bucket, and an unclamped reserve of 1 would make every call fail
+// — batch cells would never dispatch on a 2-vCPU host.
 func (p *Pool) TryToken(reserve int) (release func(), ok bool) {
 	if cap(p.tokens) == 0 {
 		return func() {}, true
 	}
 	if reserve < 0 {
 		reserve = 0
+	}
+	if reserve >= cap(p.tokens) {
+		reserve = cap(p.tokens) - 1
 	}
 	if len(p.tokens) <= reserve {
 		return nil, false

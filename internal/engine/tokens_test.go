@@ -17,6 +17,33 @@ func TestTryTokenSingleWorker(t *testing.T) {
 	}
 }
 
+// TestTryTokenReserveClamped: reserve must clamp to cap-1 so that a fully
+// idle pool always yields at least one token to background work. A 2-worker
+// pool has a 1-token bucket, and the jobs manager's default reserve is 1;
+// unclamped, TryToken(1) would fail forever on a 2-vCPU host and submitted
+// jobs would hang while the scheduler busy-looped.
+func TestTryTokenReserveClamped(t *testing.T) {
+	p := New(2) // bucket capacity 1
+	release, ok := p.TryToken(1)
+	if !ok {
+		t.Fatal("TryToken(1) failed on an idle 2-worker pool: reserve not clamped to cap-1")
+	}
+	// The bucket is empty now; a second claim must still fail.
+	if _, ok := p.TryToken(1); ok {
+		t.Fatal("TryToken(1) succeeded on an empty bucket")
+	}
+	release()
+	// Over-large reserves clamp the same way.
+	release2, ok := p.TryToken(100)
+	if !ok {
+		t.Fatal("TryToken(100) failed on an idle 2-worker pool: reserve not clamped")
+	}
+	release2()
+	if got := p.Idle(); got != 1 {
+		t.Fatalf("after releases: %d idle tokens, want 1", got)
+	}
+}
+
 // TestTryTokenReserve: reservation keeps the last tokens for interactive
 // Maps — acquisition stops while len(tokens) <= reserve.
 func TestTryTokenReserve(t *testing.T) {

@@ -57,7 +57,14 @@ const (
 // journalFile is the fixed file name inside the jobs directory.
 const journalFile = "jobs.journal"
 
-var errJournalClosed = errors.New("jobs: journal closed")
+var (
+	errJournalClosed = errors.New("jobs: journal closed")
+	// errRecordTooLarge rejects oversized appends up front: replay refuses
+	// any frame whose declared length exceeds maxPayload, so writing one
+	// would poison the journal tail — the next OpenJournal would stop at
+	// the oversized frame and truncate away every valid record after it.
+	errRecordTooLarge = errors.New("jobs: journal record exceeds max payload")
+)
 
 // Journal is the append side: a single file descriptor, one fsync per
 // record by default, writes serialized by mu. The scratch buffer is reused
@@ -257,6 +264,12 @@ func (j *Journal) appendRecord(kind byte, a, b string, c []byte) error {
 	//lint:ignore hotpath fault.Fire's armed path allocates (error construction); disarmed it is one atomic load, and chaos runs are not steady state
 	if err := fault.Fire(fault.PointJobsJournal); err != nil {
 		return err
+	}
+	// Mirror replay's frame bound on the write side: an append replay would
+	// reject must fail here (sentinel error, no alloc) rather than land on
+	// disk and silently orphan every record behind it on the next start.
+	if minPayload+len(a)+len(b)+len(c) > maxPayload {
+		return errRecordTooLarge
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()

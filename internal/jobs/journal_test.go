@@ -228,6 +228,42 @@ func TestJournalCorruptionStopsScan(t *testing.T) {
 	}
 }
 
+// TestJournalOversizedRecordRejected: an append whose payload exceeds the
+// frame bound must fail up front — replay refuses such frames, so writing
+// one would make the next OpenJournal truncate it *and every valid record
+// appended after it*. The oversized body is never touched, so the 256MiB
+// slice stays zero-page-backed and cheap.
+func TestJournalOversizedRecordRejected(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	huge := make([]byte, maxPayload) // + kind/length framing pushes past the bound
+	if err := j.AppendCell("big", huge); err != errRecordTooLarge {
+		t.Fatalf("oversized append: got %v, want errRecordTooLarge", err)
+	}
+	// The journal is still usable and the file still replays cleanly.
+	mustAppend(t, j.AppendCell("after", []byte("ok")))
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	j2, rep, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	if rep.TornBytes != 0 {
+		t.Fatalf("torn bytes after rejected append: %d", rep.TornBytes)
+	}
+	if got := rep.Bodies["after"]; !bytes.Equal(got, []byte("ok")) {
+		t.Fatalf("record after rejected append lost: %q", got)
+	}
+	if _, ok := rep.Bodies["big"]; ok {
+		t.Fatal("oversized record landed on disk")
+	}
+}
+
 // TestJournalAppendAfterClose: appends on a closed journal fail loudly rather
 // than writing to a dead descriptor, and Close is idempotent.
 func TestJournalAppendAfterClose(t *testing.T) {

@@ -506,6 +506,10 @@ func (m *Manager) Submit(spec Spec) (*Status, error) {
 		m.mu.Unlock()
 		return nil, ErrTooManyJobs
 	}
+	// Incremented under m.mu so concurrent Submits cannot all pass the
+	// admission check above and overshoot MaxJobs; decrements elsewhere are
+	// lock-free, which only ever frees capacity early.
+	m.jobsActive.Add(1)
 	m.seq++
 	id := "j" + strconv.Itoa(m.seq)
 	j := m.newJob(id, norm)
@@ -514,7 +518,6 @@ func (m *Manager) Submit(spec Spec) (*Status, error) {
 	m.mu.Unlock()
 
 	m.jobsSubmitted.Add(1)
-	m.jobsActive.Add(1)
 	m.cellsSubmitted.Add(int64(j.total))
 	m.cellsPending.Add(int64(j.total))
 	if m.journal != nil {

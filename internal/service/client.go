@@ -205,12 +205,9 @@ func (c *Client) WaitJob(ctx context.Context, id string) (*jobs.Status, error) {
 		if st.Status != jobs.JobRunning {
 			return st, nil
 		}
-		select {
-		case <-ctx.Done():
-			return st, ctx.Err()
-		default:
+		if err := c.sleepCtx(ctx, c.backoff(poll, 0)); err != nil {
+			return st, err
 		}
-		c.sleepFn()(c.backoff(poll, 0))
 	}
 }
 
@@ -231,13 +228,9 @@ func (c *Client) retry(ctx context.Context, do func() (*http.Response, error), o
 	last := &RetryError{}
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			d := c.backoff(attempt, last.retryAfter)
-			select {
-			case <-ctx.Done():
-				return ctx.Err()
-			default:
+			if err := c.sleepCtx(ctx, c.backoff(attempt, last.retryAfter)); err != nil {
+				return err
 			}
-			c.sleepFn()(d)
 		}
 		last.Attempts = attempt + 1
 
@@ -309,6 +302,30 @@ func (c *Client) sleepFn() func(time.Duration) {
 		return c.sleep
 	}
 	return time.Sleep
+}
+
+// sleepCtx runs one backoff sleep concurrently with ctx cancellation, so a
+// cancelled context interrupts the wait immediately instead of serving out
+// the full delay (up to MaxDelay). The sleep itself — injectable by tests —
+// runs on a helper goroutine; on cancellation it finishes in the background,
+// which is harmless for time.Sleep and instant for test fakes.
+func (c *Client) sleepCtx(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	sleep := c.sleepFn()
+	done := make(chan struct{})
+	//lint:ignore norecover time.Sleep and the test fakes (slice append, no-op) perform no panicking operation; close of a local channel closed nowhere else cannot panic
+	go func() {
+		sleep(d)
+		close(done)
+	}()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-done:
+		return nil
+	}
 }
 
 // parseRetryAfter reads the integer-seconds form of Retry-After (the only

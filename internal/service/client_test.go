@@ -21,6 +21,29 @@ func newTestClient(srv *httptest.Server, slept *[]time.Duration) *Client {
 	return c
 }
 
+// TestSleepCtxCancellation: a cancelled context must interrupt a backoff
+// sleep promptly — WaitJob backs off up to MaxDelay between polls, and a
+// Ctrl-C'd CLI should not serve out the remaining delay first.
+func TestSleepCtxCancellation(t *testing.T) {
+	c := NewClient("http://unused") // default real time.Sleep
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if err := c.sleepCtx(ctx, 10*time.Second); !errors.Is(err, context.Canceled) {
+		t.Fatalf("sleepCtx: got %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v; backoff sleep was not interrupted", elapsed)
+	}
+	// An already-cancelled context short-circuits without sleeping at all.
+	if err := c.sleepCtx(ctx, 10*time.Second); !errors.Is(err, context.Canceled) {
+		t.Fatalf("sleepCtx on dead ctx: got %v", err)
+	}
+}
+
 func TestClientRetriesShedThenSucceeds(t *testing.T) {
 	var calls atomic.Int64
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
