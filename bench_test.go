@@ -142,6 +142,19 @@ func BenchmarkE11DAMComplexity(b *testing.B) {
 	})
 }
 
+func BenchmarkE12PolicyGap(b *testing.B) {
+	runExperiment(b, "E12", func(t *core.Table) (string, float64) {
+		// Last row is the square replay at max k: worst-case gap = k+1.
+		return "square-wc-gap(last)", lastRowFloat(t, 3)
+	})
+}
+
+func BenchmarkE13Smoothness(b *testing.B) {
+	runExperiment(b, "E13", func(t *core.Table) (string, float64) {
+		return "faults(last)", lastRowFloat(t, 3)
+	})
+}
+
 // --- Kernel micro-benchmarks -------------------------------------------------
 
 // BenchmarkExecStep measures the symbolic executor's per-box cost on a

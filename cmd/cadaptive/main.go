@@ -1,4 +1,4 @@
-// Command cadaptive runs the paper-reproduction experiments E1–E11 and the
+// Command cadaptive runs the paper-reproduction experiments E1–E13 and the
 // ablations A1–A7, and prints their tables.
 //
 // Usage:
@@ -68,7 +68,7 @@ func run(args []string, stdout io.Writer, now func() time.Time) error {
 	def := core.DefaultConfig()
 	fs := flag.NewFlagSet("cadaptive", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "all", "experiment ID (E1..E11, A1..A7) or \"all\"")
+		exp     = fs.String("exp", "all", "experiment ID (E1..E13, A1..A7) or \"all\"")
 		seed    = fs.Uint64("seed", def.Seed, "random seed (all experiments are deterministic in it)")
 		trials  = fs.Int("trials", def.Trials, "Monte-Carlo trials per measurement")
 		maxK    = fs.Int("maxk", def.MaxK, "largest problem-size exponent (n up to 4^maxk)")

@@ -28,7 +28,9 @@
 // the sum of body lengths); either set to 0 disables storing entirely while
 // keeping singleflight de-duplication. It is split over -cache-shards
 // independent shards (0 = auto-size from GOMAXPROCS), each running the
-// -cache-policy eviction kernel ("lru" or "fifo"). -cache-ttl caps replay
+// -cache-policy eviction kernel — any registered paging policy ("lru",
+// "fifo", "arc", "2q", …; see paging.PolicyNames), rejected at parse time
+// if unknown. -cache-ttl caps replay
 // age (0 = never expire; sound, results are pure functions of the key), and
 // -cache-swr serves a stale body for that much longer while one background
 // refresh recomputes it.
@@ -55,11 +57,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/engine"
 	"repro/internal/fault"
+	"repro/internal/paging"
 	"repro/internal/service"
 )
 
@@ -97,7 +101,7 @@ func parseFlags(args []string) (daemonConfig, error) {
 		cache       = fs.Int("cache", 512, "result-cache entry bound (0 = caching disabled)")
 		cacheBytes  = fs.Int64("cache-bytes", 64<<20, "result-cache bytes bound, the sum of cached body lengths (0 = caching disabled)")
 		cacheShards = fs.Int("cache-shards", 0, "cache shard count, rounded up to a power of two (0 = auto: 4×GOMAXPROCS)")
-		cachePolicy = fs.String("cache-policy", "lru", "per-shard eviction policy: lru or fifo")
+		cachePolicy = fs.String("cache-policy", "lru", "per-shard eviction policy: one of "+strings.Join(paging.PolicyNames(), ", "))
 		cacheTTL    = fs.Duration("cache-ttl", 0, "cached-result time-to-live (0 = never expire)")
 		cacheSWR    = fs.Duration("cache-swr", 0, "stale-while-revalidate window past -cache-ttl (0 = off; requires -cache-ttl)")
 		maxRuns     = fs.Int("max-runs", 2, "maximum concurrent experiment runs (each fans out on the engine internally)")
@@ -131,6 +135,9 @@ func parseFlags(args []string) (daemonConfig, error) {
 		return daemonConfig{}, fmt.Errorf("-cache-swr %v < 0", *cacheSWR)
 	case *cacheSWR > 0 && *cacheTTL == 0:
 		return daemonConfig{}, errors.New("-cache-swr without -cache-ttl: a stale window needs an expiry to be stale past")
+	}
+	if !paging.HasPolicy(*cachePolicy) {
+		return daemonConfig{}, fmt.Errorf("-cache-policy %q is not a registered eviction policy (have %v)", *cachePolicy, paging.PolicyNames())
 	}
 	if *chaosSpec == "" && *chaosSeed != 0 {
 		return daemonConfig{}, errors.New("-chaos-seed without -chaos-spec does nothing; give a spec or drop the seed")

@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/paging"
 )
 
 func TestParseFlagsDefaults(t *testing.T) {
@@ -87,6 +89,7 @@ func TestParseFlagsRejects(t *testing.T) {
 		{[]string{"-cache-ttl", "-1s"}, "-cache-ttl"},
 		{[]string{"-cache-swr", "-1s"}, "-cache-swr"},
 		{[]string{"-cache-swr", "1s"}, "without -cache-ttl"},
+		{[]string{"-cache-policy", "clock-pro"}, "-cache-policy"},
 		{[]string{"-workers", "-1"}, "-workers"},
 		{[]string{"-chaos-seed", "7"}, "without -chaos-spec"},
 		{[]string{"-jobs-max", "0"}, "-jobs-max"},
@@ -101,6 +104,30 @@ func TestParseFlagsRejects(t *testing.T) {
 		}
 		if !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("parseFlags(%v): error %q does not mention %q", tc.args, err, tc.want)
+		}
+	}
+}
+
+// TestParseFlagsCachePolicy: every registered policy name must be accepted
+// at parse time, and an unknown name must be rejected with the registry
+// listed so the typo is self-diagnosing.
+func TestParseFlagsCachePolicy(t *testing.T) {
+	for _, name := range paging.PolicyNames() {
+		cfg, err := parseFlags([]string{"-cache-policy", name})
+		if err != nil {
+			t.Fatalf("-cache-policy %s rejected: %v", name, err)
+		}
+		if cfg.opts.CachePolicy != name {
+			t.Errorf("-cache-policy %s => Options.CachePolicy %q", name, cfg.opts.CachePolicy)
+		}
+	}
+	_, err := parseFlags([]string{"-cache-policy", "clock-pro"})
+	if err == nil {
+		t.Fatal("-cache-policy clock-pro accepted")
+	}
+	for _, name := range paging.PolicyNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list registered policy %q", err, name)
 		}
 	}
 }

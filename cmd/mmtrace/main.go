@@ -5,6 +5,8 @@
 //
 //	mmtrace -alg scan -dim 128 -block 8 -stats          # trace statistics
 //	mmtrace -alg inplace -dim 128 -lru 256              # DAM misses at fixed M
+//	mmtrace -alg inplace -dim 128 -lru 256 -policy arc  # same replay, ARC kernel
+//	mmtrace -alg scan -dim 256 -profile p.tsv -policy 2q # profile replay, live kernel
 //	mmtrace -alg scan -dim 128 -worstcase -reps 16      # multiplies under Fig-1 profile
 //	mmtrace -alg scan -dim 1024 -stream -worstcase      # same, streaming (no materialized trace)
 //	mmtrace -alg scan -dim 1024 -worstcase -workers 4   # sharded square-partitioned replay
@@ -14,11 +16,20 @@
 // fit stream fine (the -opt replay is the one consumer that inherently
 // needs the full trace and refuses -stream).
 //
+// -policy selects the replacement kernel: any registered paging policy
+// (see paging.PolicyNames) for the -lru fixed-capacity replay, plus
+// "square" (the default cleared-cache square semantics) or "opt"
+// (clairvoyant Belady replay) for the -profile replay. Unknown names are
+// rejected with the accepted list.
+//
 // -workers bounds the engine pool the -worstcase and -profile replays
 // shard onto (square-partitioned replay, DESIGN.md): the replay splits at
 // square boundaries, each shard re-streams its slice against a profile
 // source forked at its starting box, and the merged result is identical
-// to the serial replay at any worker count.
+// to the serial replay at any worker count. Live-kernel profile replays
+// (-policy with a registry name) are inherently serial — the kernel
+// carries residency across box boundaries, so there is no square boundary
+// to fork at; they ignore -workers.
 //
 // This is the substrate behind experiments E9 and E11.
 package main
@@ -27,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/dp"
 	"repro/internal/engine"
@@ -76,7 +88,8 @@ func run() error {
 		dim       = flag.Int("dim", 128, "matrix dimension (power of two)")
 		block     = flag.Int64("block", 8, "words per block")
 		stats     = flag.Bool("stats", false, "print trace statistics")
-		lru       = flag.Int64("lru", 0, "replay under fixed-capacity LRU with this many blocks")
+		lru       = flag.Int64("lru", 0, "replay under a fixed-capacity cache with this many blocks (kernel chosen by -policy, default lru)")
+		policy    = flag.String("policy", "", "replacement policy for the -lru and -profile replays (\"\" = lru / square respectively); one of "+strings.Join(paging.ReplayNames(), ", "))
 		opt       = flag.Bool("opt", false, "also replay under Belady OPT (with -lru; needs a materialized trace)")
 		worstcase = flag.Bool("worstcase", false, "count multiplies completed within the Figure-1 profile")
 		reps      = flag.Int("reps", 16, "repetitions for -worstcase")
@@ -86,6 +99,12 @@ func run() error {
 	)
 	flag.Parse()
 	engine.SetSharedWorkers(*workers)
+
+	// Validate -policy up front so a typo fails before any trace is built.
+	if *policy != "" && !paging.HasPolicy(*policy) &&
+		*policy != paging.SquareReplayName && *policy != paging.OPTReplayName {
+		return fmt.Errorf("-policy %q is not an accepted replay policy (have %v)", *policy, paging.ReplayNames())
+	}
 
 	var emit func(trace.Sink) error
 	switch *alg {
@@ -147,23 +166,43 @@ func run() error {
 		did = true
 	}
 	if *lru > 0 {
+		name := *policy
+		if name == "" {
+			name = "lru"
+		}
+		if name == paging.SquareReplayName {
+			return fmt.Errorf("-policy square is the cleared-cache profile replay; it has no fixed-capacity form (use -profile)")
+		}
 		refs, _, _, err := measure()
 		if err != nil {
 			return err
 		}
-		l, err := paging.NewLRU(*lru)
-		if err != nil {
-			return err
+		var misses int64
+		if name == paging.OPTReplayName {
+			if tr == nil {
+				return fmt.Errorf("-policy opt needs the full trace for the next-use precomputation; drop -stream")
+			}
+			misses, err = paging.RunOPTFixed(tr, *lru)
+			if err != nil {
+				return err
+			}
+		} else {
+			p, err := paging.NewReplacementPolicy(name, *lru)
+			if err != nil {
+				return err
+			}
+			if tr != nil {
+				p.Reserve(tr.MaxBlock())
+				trace.Replay(tr, paging.CacheSink{Cache: p})
+			} else if err := emit(paging.CacheSink{Cache: p}); err != nil {
+				return err
+			}
+			misses = p.Misses()
 		}
-		if tr != nil {
-			l.Reserve(tr.MaxBlock())
-			trace.Replay(tr, paging.CacheSink{Cache: l})
-		} else if err := emit(paging.CacheSink{Cache: l}); err != nil {
-			return err
-		}
-		fmt.Printf("LRU(M=%d blocks): %d misses (%.1f%% of references)\n",
-			*lru, l.Misses(), 100*float64(l.Misses())/float64(refs))
-		if *opt {
+		label := strings.ToUpper(name)
+		fmt.Printf("%s(M=%d blocks): %d misses (%.1f%% of references)\n",
+			label, *lru, misses, 100*float64(misses)/float64(refs))
+		if *opt && name != paging.OPTReplayName {
 			if tr == nil {
 				return fmt.Errorf("-opt needs the full trace for the next-use precomputation; drop -stream")
 			}
@@ -171,7 +210,7 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			fmt.Printf("OPT(M=%d blocks): %d misses (LRU/OPT = %.2f)\n", *lru, om, float64(l.Misses())/float64(om))
+			fmt.Printf("OPT(M=%d blocks): %d misses (%s/OPT = %.2f)\n", *lru, om, label, float64(misses)/float64(om))
 		}
 		did = true
 	}
@@ -242,20 +281,47 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		name := *policy
+		if name == "" {
+			name = paging.SquareReplayName
+		}
 		var st []paging.BoxStat
-		if tr != nil {
+		switch {
+		case name == paging.SquareReplayName && tr != nil:
 			st, err = paging.SquareRunParallel(tr, src, 0, 0)
-		} else {
+		case name == paging.SquareReplayName:
 			refs, _, maxBlock, merr := measure()
 			if merr != nil {
 				return merr
 			}
 			st, err = paging.SquareEmitParallel(emit, refs, maxBlock, src, 0, 0)
+		case tr != nil:
+			// Live kernels and the clairvoyant replay are serial: residency
+			// carries across box boundaries, so there is no square boundary
+			// to shard at.
+			st, err = paging.PolicyRun(name, tr, src, 0)
+		case name == paging.OPTReplayName:
+			return fmt.Errorf("-policy opt needs the full trace for the next-use precomputation; drop -stream")
+		default:
+			p, perr := paging.NewReplacementPolicy(name, 1)
+			if perr != nil {
+				return perr
+			}
+			_, _, maxBlock, merr := measure()
+			if merr != nil {
+				return merr
+			}
+			q := paging.NewPolicyStream(p, src, 0)
+			q.Reserve(maxBlock)
+			if err := emit(q); err != nil {
+				return err
+			}
+			st, err = q.Finish()
 		}
 		if err != nil {
 			return err
 		}
-		fmt.Printf("custom profile %s (%d boxes, cycled as needed):\n", *profPath, prof.Len())
+		fmt.Printf("custom profile %s (%d boxes, cycled as needed) under %s:\n", *profPath, prof.Len(), name)
 		fmt.Printf("boxes used=%d IOs=%d base-cases completed=%d\n",
 			len(st), paging.TotalIOs(st), paging.TotalLeaves(st))
 		did = true

@@ -27,7 +27,7 @@
 //	internal/fft         radix-2 FFT (the other a = b example) + traces
 //	internal/memsort     Barve-Vitter-style explicitly adaptive sorting model
 //	internal/sharedcache the intro's multi-tenant cache-contention generator
-//	internal/core        experiments E1–E11, ablations A1–A7, formatting
+//	internal/core        experiments E1–E13, ablations A1–A7, formatting
 //	cmd/cadaptive        run experiments
 //	cmd/profilegen       generate/render profiles
 //	cmd/mmtrace          matrix-multiply trace tooling

@@ -137,6 +137,46 @@ func MeasureTrace(spec regular.Spec, n int64, src profile.Source, maxBoxes int64
 	return traceResult(spec, n, stats), nil
 }
 
+// MeasureTracePolicy is MeasureTrace generalised over the replacement
+// policy: the canonical synthetic trace for spec streams through the named
+// replay — a registered kernel (paging.PolicyNames) replayed live with the
+// box profile driving its capacity, "opt" for the clairvoyant box replay,
+// or "square" (or "") for the cleared-cache square semantics, which routes
+// to MeasureTrace itself. Only the square path shards: the live kernels
+// carry state across box boundaries, so a policy replay cannot be forked
+// mid-stream — it always runs serially. "opt" needs the future, so its
+// trace is materialized (regular.SyntheticTrace's ceiling applies).
+func MeasureTracePolicy(spec regular.Spec, n int64, policy string, src profile.Source, maxBoxes int64) (RunResult, error) {
+	switch policy {
+	case "", paging.SquareReplayName:
+		return MeasureTrace(spec, n, src, maxBoxes)
+	case paging.OPTReplayName:
+		tr, err := regular.SyntheticTrace(spec, n)
+		if err != nil {
+			return RunResult{}, err
+		}
+		stats, err := paging.OPTRunBoxes(tr, src, maxBoxes)
+		if err != nil {
+			return RunResult{}, err
+		}
+		return traceResult(spec, n, stats), nil
+	}
+	p, err := paging.NewReplacementPolicy(policy, 1)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("adaptivity: unknown replay policy %q (have %v)", policy, paging.ReplayNames())
+	}
+	q := paging.NewPolicyStream(p, src, maxBoxes)
+	q.Reserve(n - 1)
+	if err := regular.EmitSynthetic(spec, n, q); err != nil {
+		return RunResult{}, err
+	}
+	stats, err := q.Finish()
+	if err != nil {
+		return RunResult{}, err
+	}
+	return traceResult(spec, n, stats), nil
+}
+
 // traceResult folds a per-box ledger into a RunResult in box order — the
 // float accumulation order is part of the byte-identity contract between
 // the serial and sharded replays.

@@ -2,6 +2,7 @@ package adaptivity
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/engine"
@@ -76,6 +77,66 @@ func TestMeasureTraceMatchesSymbolicOnWorstCase(t *testing.T) {
 	}
 	if math.Abs(sym.Gap()-tr.Gap()) > 1e-9 {
 		t.Errorf("gap: symbolic %g, trace %g", sym.Gap(), tr.Gap())
+	}
+}
+
+func TestMeasureTracePolicySquareRouting(t *testing.T) {
+	// "square" (and "") must hit MeasureTrace itself — identical results,
+	// not merely close ones.
+	spec := regular.MMScanSpec
+	n := int64(64)
+	wc, err := profile.WorstCase(8, 4, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := profile.NewSliceSource(wc)
+	want, err := MeasureTrace(spec, n, src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"square", ""} {
+		src2, _ := profile.NewSliceSource(wc)
+		got, err := MeasureTracePolicy(spec, n, name, src2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("policy %q: %+v, MeasureTrace %+v", name, got, want)
+		}
+	}
+}
+
+func TestMeasureTracePolicyFullBoxes(t *testing.T) {
+	// Boxes of exactly size n: the whole working set is fetched in the
+	// first box and every policy — live kernel or clairvoyant — stays at
+	// gap 1, like the square semantics.
+	spec := regular.MMScanSpec
+	n := int64(256)
+	for _, name := range []string{"lru", "fifo", "arc", "2q", "opt"} {
+		src, _ := profile.NewSliceSource(profile.MustNew([]int64{n}))
+		res, err := MeasureTracePolicy(spec, n, name, src, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if math.Abs(res.Gap()-1) > 1e-9 {
+			t.Errorf("%s: gap = %g, want 1", name, res.Gap())
+		}
+		if res.Boxes != 1 {
+			t.Errorf("%s: used %d boxes, want 1", name, res.Boxes)
+		}
+	}
+}
+
+func TestMeasureTracePolicyUnknownName(t *testing.T) {
+	src, _ := profile.NewSliceSource(profile.MustNew([]int64{8}))
+	_, err := MeasureTracePolicy(regular.MMScanSpec, 64, "belady-crystal-ball", src, 0)
+	if err == nil {
+		t.Fatal("unknown policy name accepted")
+	}
+	for _, name := range []string{"lru", "fifo", "arc", "2q", "opt", "square"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list accepted name %q", err, name)
+		}
 	}
 }
 

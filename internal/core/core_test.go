@@ -20,15 +20,15 @@ func testConfig() Config {
 
 func TestRegistryComplete(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 18 {
-		t.Fatalf("registered %d experiments, want 18 (E1..E11, A1..A7)", len(exps))
+	if len(exps) != 20 {
+		t.Fatalf("registered %d experiments, want 20 (E1..E13, A1..A7)", len(exps))
 	}
 	for i, e := range exps {
 		var want string
-		if i < 11 {
+		if i < 13 {
 			want = "E" + strconv.Itoa(i+1)
 		} else {
-			want = "A" + strconv.Itoa(i-10)
+			want = "A" + strconv.Itoa(i-12)
 		}
 		if e.ID != want {
 			t.Errorf("experiment %d has ID %s, want %s", i, e.ID, want)
@@ -40,7 +40,7 @@ func TestRegistryComplete(t *testing.T) {
 }
 
 func TestRunUnknown(t *testing.T) {
-	for _, id := range []string{"E99", "A99", "E12", "A8"} {
+	for _, id := range []string{"E99", "A99", "E14", "A8"} {
 		_, err := Run(id, testConfig())
 		if err == nil {
 			t.Fatalf("%s: unknown experiment accepted", id)
@@ -248,7 +248,7 @@ func TestAllExperimentsRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 18 {
+	if len(tables) != 20 {
 		t.Fatalf("got %d tables", len(tables))
 	}
 	for _, tb := range tables {

@@ -1,0 +1,191 @@
+package paging
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// Differential tests for the adaptive kernels: ARC and 2Q must agree
+// exactly — per access, not just in aggregate — with the naive slice-backed
+// transcriptions of the published pseudocode in oracle_adaptive_test.go,
+// under random traces, random capacity schedules, and square-boundary
+// Clears.
+
+func residentOf(p ReplacementPolicy, universe int64) map[int64]bool {
+	set := map[int64]bool{}
+	for b := int64(0); b < universe; b++ {
+		if p.Contains(b) {
+			set[b] = true
+		}
+	}
+	return set
+}
+
+func checkResident(t *testing.T, trial int, p ReplacementPolicy, universe int64, want map[int64]bool) {
+	t.Helper()
+	got := residentOf(p, universe)
+	if len(got) != len(want) {
+		t.Fatalf("trial %d: %d resident blocks, oracle %d", trial, len(got), len(want))
+	}
+	for blk := range got {
+		if !want[blk] {
+			t.Fatalf("trial %d: block %d resident but not in oracle", trial, blk)
+		}
+	}
+}
+
+func TestARCMatchesOracle(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		src := xrand.New(xrand.Split(50, "arc-diff", int64(trial)))
+		universe := 1 + src.Int63n(96)
+		tr := localTrace(src, 600, universe)
+		sched := randomSchedule(src, tr.Len(), 32)
+
+		capacity := 1 + src.Int63n(24)
+		a, err := NewARC(capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := newOracleARC(capacity)
+		for i := 0; i < tr.Len(); i++ {
+			if c, ok := sched[i]; ok {
+				if err := a.SetCapacity(c); err != nil {
+					t.Fatal(err)
+				}
+				o.SetCapacity(c)
+			}
+			if i%97 == 0 {
+				a.Clear()
+				o.Clear()
+			}
+			got, want := a.Access(tr.Block(i)), o.Access(tr.Block(i))
+			if got != want {
+				t.Fatalf("trial %d, access %d (block %d): hit=%v, oracle %v",
+					trial, i, tr.Block(i), got, want)
+			}
+			if a.Len() != o.Len() {
+				t.Fatalf("trial %d, access %d: len %d, oracle %d", trial, i, a.Len(), o.Len())
+			}
+			if a.Target() != o.p {
+				t.Fatalf("trial %d, access %d: target p=%d, oracle %d", trial, i, a.Target(), o.p)
+			}
+			if a.Len() > a.Capacity() {
+				t.Fatalf("trial %d, access %d: %d resident over capacity %d",
+					trial, i, a.Len(), a.Capacity())
+			}
+		}
+		if a.Hits() != o.Hits() || a.Misses() != o.Misses() {
+			t.Fatalf("trial %d: counters %d/%d, oracle %d/%d",
+				trial, a.Hits(), a.Misses(), o.Hits(), o.Misses())
+		}
+		checkResident(t, trial, a, universe, o.residentSet())
+	}
+}
+
+func Test2QMatchesOracle(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		src := xrand.New(xrand.Split(51, "2q-diff", int64(trial)))
+		universe := 1 + src.Int63n(96)
+		tr := localTrace(src, 600, universe)
+		sched := randomSchedule(src, tr.Len(), 32)
+
+		capacity := 1 + src.Int63n(24)
+		q, err := NewTwoQ(capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := newOracle2Q(capacity)
+		for i := 0; i < tr.Len(); i++ {
+			if c, ok := sched[i]; ok {
+				if err := q.SetCapacity(c); err != nil {
+					t.Fatal(err)
+				}
+				o.SetCapacity(c)
+			}
+			if i%97 == 0 {
+				q.Clear()
+				o.Clear()
+			}
+			got, want := q.Access(tr.Block(i)), o.Access(tr.Block(i))
+			if got != want {
+				t.Fatalf("trial %d, access %d (block %d): hit=%v, oracle %v",
+					trial, i, tr.Block(i), got, want)
+			}
+			if q.Len() != o.Len() {
+				t.Fatalf("trial %d, access %d: len %d, oracle %d", trial, i, q.Len(), o.Len())
+			}
+			if q.Len() > q.Capacity() {
+				t.Fatalf("trial %d, access %d: %d resident over capacity %d",
+					trial, i, q.Len(), q.Capacity())
+			}
+		}
+		if q.Hits() != o.Hits() || q.Misses() != o.Misses() {
+			t.Fatalf("trial %d: counters %d/%d, oracle %d/%d",
+				trial, q.Hits(), q.Misses(), o.Hits(), o.Misses())
+		}
+		checkResident(t, trial, q, universe, o.residentSet())
+	}
+}
+
+// FuzzAdaptivePoliciesMatchOracles drives the ARC and 2Q kernels and their
+// pseudocode oracles from fuzz-chosen reference strings and capacity
+// schedules — the adaptive-policy twin of FuzzKernelsMatchOracles. Bytes
+// < 200 are block references (universe of 64); bytes >= 200 retarget the
+// capacity first, so the ghost-list trims, p clamps, and Kin/Kout
+// rebalancing under dynamic capacity all get exercised.
+func FuzzAdaptivePoliciesMatchOracles(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 1, 2, 3, 200, 1, 4, 5, 1}, uint8(3))
+	f.Add([]byte{0, 0, 0, 255, 7, 7, 201, 63, 0, 7}, uint8(1))
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"), uint8(9))
+	f.Add([]byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 9, 8, 7, 6, 5, 210, 4, 3, 2, 1, 0}, uint8(5))
+	f.Fuzz(func(t *testing.T, data []byte, c uint8) {
+		capacity := int64(c%16) + 1
+		a, err := NewARC(capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oa := newOracleARC(capacity)
+		q, err := NewTwoQ(capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oq := newOracle2Q(capacity)
+
+		for i, by := range data {
+			if by >= 200 {
+				nc := int64(by%24) + 1
+				if err := a.SetCapacity(nc); err != nil {
+					t.Fatal(err)
+				}
+				oa.SetCapacity(nc)
+				if err := q.SetCapacity(nc); err != nil {
+					t.Fatal(err)
+				}
+				oq.SetCapacity(nc)
+			}
+			blk := int64(by & 63)
+			if ga, wa := a.Access(blk), oa.Access(blk); ga != wa {
+				t.Fatalf("ARC access %d (block %d): hit=%v, oracle %v", i, blk, ga, wa)
+			}
+			if a.Target() != oa.p {
+				t.Fatalf("ARC access %d: target p=%d, oracle %d", i, a.Target(), oa.p)
+			}
+			if gq, wq := q.Access(blk), oq.Access(blk); gq != wq {
+				t.Fatalf("2Q access %d (block %d): hit=%v, oracle %v", i, blk, gq, wq)
+			}
+			if a.Len() > a.Capacity() || q.Len() > q.Capacity() {
+				t.Fatalf("access %d: resident over capacity (arc %d/%d, 2q %d/%d)",
+					i, a.Len(), a.Capacity(), q.Len(), q.Capacity())
+			}
+		}
+		if a.Len() != oa.Len() || a.Hits() != oa.Hits() || a.Misses() != oa.Misses() {
+			t.Fatalf("ARC state %d/%d/%d, oracle %d/%d/%d",
+				a.Len(), a.Hits(), a.Misses(), oa.Len(), oa.Hits(), oa.Misses())
+		}
+		if q.Len() != oq.Len() || q.Hits() != oq.Hits() || q.Misses() != oq.Misses() {
+			t.Fatalf("2Q state %d/%d/%d, oracle %d/%d/%d",
+				q.Len(), q.Hits(), q.Misses(), oq.Len(), oq.Hits(), oq.Misses())
+		}
+	})
+}

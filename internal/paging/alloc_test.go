@@ -58,6 +58,51 @@ func TestFIFOZeroAllocSteadyState(t *testing.T) {
 	}
 }
 
+// allocguard:ARC.Access
+func TestARCZeroAllocSteadyState(t *testing.T) {
+	src := xrand.New(xrand.Split(50, "alloc-arc", 0))
+	tr := localTrace(src, 2000, 128)
+	a, err := NewARC(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Reserve(tr.MaxBlock())
+	// Warm up: populate the lists and ghost history over the working set.
+	for i := 0; i < tr.Len(); i++ {
+		a.Access(tr.Block(i))
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		for i := 0; i < tr.Len(); i++ {
+			a.Access(tr.Block(i))
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("ARC steady-state replay allocates %.1f times per run, want 0", avg)
+	}
+}
+
+// allocguard:TwoQ.Access
+func TestTwoQZeroAllocSteadyState(t *testing.T) {
+	src := xrand.New(xrand.Split(50, "alloc-2q", 0))
+	tr := localTrace(src, 2000, 128)
+	q, err := NewTwoQ(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Reserve(tr.MaxBlock())
+	for i := 0; i < tr.Len(); i++ {
+		q.Access(tr.Block(i))
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		for i := 0; i < tr.Len(); i++ {
+			q.Access(tr.Block(i))
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("2Q steady-state replay allocates %.1f times per run, want 0", avg)
+	}
+}
+
 // TestSquareStreamBoundedState: the streaming square consumer's state
 // depends on the block universe, not the stream length — feeding 10× more
 // references of the same working set must not grow residency state.
@@ -148,6 +193,36 @@ func TestSquareFinisherZeroAllocSteadyState(t *testing.T) {
 	})
 	if avg != 0 {
 		t.Fatalf("SquareFinisher steady-state replay allocates %.1f times per run, want 0", avg)
+	}
+}
+
+// TestPolicyStreamZeroAllocSteadyState: with the kernel reserved and a box
+// large enough to never close, serving references through the live-policy
+// box replay allocates nothing. (Closing a box appends a BoxStat —
+// amortised by box, not by reference.)
+//
+// allocguard:PolicyStream.Access
+func TestPolicyStreamZeroAllocSteadyState(t *testing.T) {
+	src := xrand.New(xrand.Split(50, "alloc-policystream", 0))
+	tr := localTrace(src, 2000, 128)
+	for _, name := range PolicyNames() {
+		p, err := NewReplacementPolicy(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := NewPolicyStream(p, constSource{1 << 40}, 0)
+		q.Reserve(tr.MaxBlock())
+		for i := 0; i < tr.Len(); i++ {
+			q.Access(tr.Block(i))
+		}
+		avg := testing.AllocsPerRun(10, func() {
+			for i := 0; i < tr.Len(); i++ {
+				q.Access(tr.Block(i))
+			}
+		})
+		if avg != 0 {
+			t.Fatalf("%s PolicyStream steady-state replay allocates %.1f times per run, want 0", name, avg)
+		}
 	}
 }
 

@@ -122,6 +122,89 @@ func BenchmarkOPTReplayOracle(b *testing.B) {
 	})
 }
 
+func BenchmarkARCReplayKernel(b *testing.B) {
+	tr := benchTrace(b)
+	a, err := NewARC(benchCapacity)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a.Reserve(tr.MaxBlock())
+	n := tr.Len()
+	perAccess(b, n, func() {
+		a.Clear()
+		for i := 0; i < n; i++ {
+			a.Access(tr.Block(i))
+		}
+	})
+}
+
+func BenchmarkARCReplayOracle(b *testing.B) {
+	tr := benchTrace(b)
+	o := newOracleARC(benchCapacity)
+	n := tr.Len()
+	perAccess(b, n, func() {
+		o.Clear()
+		for i := 0; i < n; i++ {
+			o.Access(tr.Block(i))
+		}
+	})
+}
+
+func Benchmark2QReplayKernel(b *testing.B) {
+	tr := benchTrace(b)
+	q, err := NewTwoQ(benchCapacity)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q.Reserve(tr.MaxBlock())
+	n := tr.Len()
+	perAccess(b, n, func() {
+		q.Clear()
+		for i := 0; i < n; i++ {
+			q.Access(tr.Block(i))
+		}
+	})
+}
+
+func Benchmark2QReplayOracle(b *testing.B) {
+	tr := benchTrace(b)
+	o := newOracle2Q(benchCapacity)
+	n := tr.Len()
+	perAccess(b, n, func() {
+		o.Clear()
+		for i := 0; i < n; i++ {
+			o.Access(tr.Block(i))
+		}
+	})
+}
+
+// BenchmarkPolicyStreamReplay measures the live-kernel box replay fed
+// through the Sink interface, per registered policy — the path
+// MeasureTracePolicy and E12 take.
+func BenchmarkPolicyStreamReplay(b *testing.B) {
+	tr := benchTrace(b)
+	for _, name := range PolicyNames() {
+		b.Run(name, func(b *testing.B) {
+			perAccess(b, tr.Len(), func() {
+				p, err := NewReplacementPolicy(name, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				src, err := profile.NewSliceSource(profile.MustNew([]int64{64}))
+				if err != nil {
+					b.Fatal(err)
+				}
+				q := NewPolicyStream(p, src, 0)
+				q.Reserve(tr.MaxBlock())
+				trace.Replay(tr, q)
+				if _, err := q.Finish(); err != nil {
+					b.Fatal(err)
+				}
+			})
+		})
+	}
+}
+
 // BenchmarkSquareStreamReplay measures the streaming square cache fed
 // through the Sink interface — the path every experiment now takes.
 func BenchmarkSquareStreamReplay(b *testing.B) {

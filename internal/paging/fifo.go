@@ -91,6 +91,22 @@ func (f *FIFO) Access(block int64) bool {
 	return false
 }
 
+// Contains reports whether block is resident without recording a hit.
+func (f *FIFO) Contains(block int64) bool {
+	return block >= 0 && block < int64(len(f.resident)) && f.resident[block]
+}
+
+// Capacity reports the current capacity.
+func (f *FIFO) Capacity() int64 { return f.capacity }
+
+// Touch is a no-op — not reordering on hits is the definition of FIFO
+// (EvictionPolicy surface).
+func (f *FIFO) Touch(int64) {}
+
+// Insert admits a new entry (EvictionPolicy surface). At UnboundedCapacity
+// the kernel never self-evicts, so Access doubles as the fill path.
+func (f *FIFO) Insert(id int64) { f.Access(id) }
+
 // Victim returns the least recently fetched resident block — the one
 // Access would evict next — or -1 when the cache is empty. It does not
 // evict; pair it with Remove under an external bound.

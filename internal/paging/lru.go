@@ -181,6 +181,19 @@ func (l *LRU) evict() {
 	l.size--
 }
 
+// Contains reports whether block is resident without recording a hit.
+func (l *LRU) Contains(block int64) bool {
+	return block >= 0 && block < int64(len(l.slot)) && l.slot[block] != nilNode
+}
+
+// Touch records a use of a resident entry (EvictionPolicy surface). At
+// UnboundedCapacity the kernel never self-evicts, so Access doubles as both
+// Touch (hit path: move to front) and Insert (miss path: push front).
+func (l *LRU) Touch(id int64) { l.Access(id) }
+
+// Insert admits a new entry (EvictionPolicy surface); see Touch.
+func (l *LRU) Insert(id int64) { l.Access(id) }
+
 // Victim returns the least recently used resident block — the one Access
 // would evict next — or -1 when the cache is empty. It does not evict;
 // pair it with Remove when an external bound (bytes, entry count) rather

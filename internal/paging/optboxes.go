@@ -1,0 +1,120 @@
+package paging
+
+import (
+	"fmt"
+
+	"repro/internal/profile"
+	"repro/internal/trace"
+)
+
+// OPTRunBoxes replays tr through Belady's farthest-in-future choice while
+// the capacity follows boxes drawn from src, mirroring PolicyStream's
+// accounting: entering a box of size X resizes the cache to X (evicting
+// the farthest-next-use overflow) and grants X misses of budget. It is the
+// clairvoyant baseline for the adaptivity-gap-by-policy experiment.
+//
+// With a *changing* capacity, greedy farthest-in-future is a natural
+// baseline rather than a provably optimal schedule — Belady's exchange
+// argument needs a fixed capacity. Every online policy still replays
+// against strictly less information, so the baseline is an honest floor in
+// practice on the repository's traces.
+//
+// The mechanics are RunOPTFixed's: next-use positions precomputed in one
+// backward pass, a packed max-heap with lazy stale invalidation, dense
+// arrays throughout.
+func OPTRunBoxes(tr *trace.Trace, src profile.Source, maxBoxes int64) ([]BoxStat, error) {
+	n := tr.Len()
+	if n == 0 {
+		return nil, nil
+	}
+	if int64(n) >= 1<<31 || tr.MaxBlock() >= 1<<31 {
+		return nil, fmt.Errorf("paging: OPT index overflow (%d refs, max block %d)", n, tr.MaxBlock())
+	}
+
+	// nextUse[i] = next position after i referencing the same block; n if
+	// the block is never referenced again.
+	nextUse := make([]int32, n)
+	last := make([]int32, tr.MaxBlock()+1)
+	for i := range last {
+		last[i] = optNever
+	}
+	for i := n - 1; i >= 0; i-- {
+		blk := tr.Block(i)
+		if j := last[blk]; j != optNever {
+			nextUse[i] = j
+		} else {
+			nextUse[i] = int32(n)
+		}
+		last[blk] = int32(i)
+	}
+
+	// curNext[b] = the live heap key's nextUse for resident block b, or
+	// optNever when b is absent.
+	curNext := last // reuse the backing array; every entry is rewritten below
+	for i := range curNext {
+		curNext[i] = optNever
+	}
+
+	var h optHeap
+	var size int64
+	var stats []BoxStat
+	cur := BoxStat{Size: src.Next()}
+	if cur.Size < 1 {
+		return nil, fmt.Errorf("paging: box source produced size %d", cur.Size)
+	}
+	capacity := cur.Size
+
+	evictFarthest := func() error {
+		for {
+			if len(h) == 0 {
+				return fmt.Errorf("paging: OPT heap exhausted with %d resident", size)
+			}
+			top := h.pop()
+			b := int64(uint32(top))
+			if curNext[b] != int32(top>>32) {
+				continue // stale entry
+			}
+			curNext[b] = optNever
+			size--
+			return nil
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		blk := tr.Block(i)
+		nu := nextUse[i]
+		key := uint64(uint32(nu))<<32 | uint64(uint32(blk))
+		if curNext[blk] != optNever {
+			// Hit: free against the box; refresh the next-use key.
+			curNext[blk] = nu
+			h.push(key)
+			cur.Refs++
+			continue
+		}
+		// Miss: needs an I/O from the current box's budget.
+		if cur.IOs == cur.Size {
+			// Budget exhausted: this reference belongs to the next box.
+			stats = append(stats, cur)
+			if maxBoxes > 0 && int64(len(stats)) >= maxBoxes {
+				return stats, fmt.Errorf("paging: run exceeded %d boxes", maxBoxes)
+			}
+			cur = BoxStat{Size: src.Next()}
+			if cur.Size < 1 {
+				return stats, fmt.Errorf("paging: box source produced size %d", cur.Size)
+			}
+			capacity = cur.Size
+		}
+		for size >= capacity {
+			if err := evictFarthest(); err != nil {
+				return stats, err
+			}
+		}
+		curNext[blk] = nu
+		size++
+		h.push(key)
+		cur.IOs++
+		cur.Refs++
+	}
+	stats = append(stats, cur)
+	return stats, nil
+}

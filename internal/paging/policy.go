@@ -12,9 +12,9 @@ import (
 // bound, a TTL sweep — whatever the cache's contract is). IDs are small
 // dense non-negative integers allocated by the caller, which is exactly
 // the dense-remapped universe the array-backed kernels in this package
-// are built for; the shipped implementations are thin adapters over them,
-// so the simulator's LRU and FIFO kernels double as the production result
-// cache's engine.
+// are built for; the kernels implement this surface directly, so the
+// simulator's replay kernels double as the production result cache's
+// eviction engines.
 //
 // Contract: Insert an ID at most once until it is Removed; Touch only
 // resident IDs; Victim returns a resident ID without removing it (-1 when
@@ -35,72 +35,135 @@ type EvictionPolicy interface {
 	Len() int64
 }
 
-// policyFactories maps policy names to constructors. ARC/CAR-family
-// policies (Consuegra et al., "Analyzing Adaptive Cache Replacement
-// Strategies") slot in here once their kernels land.
-var policyFactories = map[string]func() EvictionPolicy{
-	"lru":  NewLRUPolicy,
-	"fifo": NewFIFOPolicy,
+// ReplacementPolicy is the full streaming kernel contract every registered
+// policy implements: the EvictionPolicy surface above (external-bound mode,
+// where the owning cache decides when to evict) plus the replay surface
+// (the kernel enforces its own — dynamically resizable — capacity, the way
+// the cache-adaptive model requires). One array-backed kernel serves both
+// modes: constructed at UnboundedCapacity it never self-evicts and the
+// caller drives eviction through Victim/Remove; constructed at a finite
+// capacity, Access self-evicts per the policy.
+//
+// Kernels are built for dense-remapped block universes (IDs allocated
+// contiguously from 0): memory is O(max block ID seen), every operation is
+// O(1) amortised, and the steady state of a Reserved replay performs no
+// allocations.
+type ReplacementPolicy interface {
+	EvictionPolicy
+	// Access touches block against the kernel's own capacity, returning
+	// true on a hit; on a miss the block is fetched, self-evicting per
+	// the policy when the cache is full.
+	Access(block int64) bool
+	// Contains reports whether block is resident, without recording a
+	// hit or perturbing the replacement state.
+	Contains(block int64) bool
+	// SetCapacity resizes the cache, evicting per the policy if it
+	// shrank.
+	SetCapacity(capacity int64) error
+	// Capacity reports the current capacity.
+	Capacity() int64
+	// Reserve pre-sizes the dense indexes for block IDs up to maxBlock,
+	// so a replay over a known universe allocates nothing in steady
+	// state.
+	Reserve(maxBlock int64)
+	// Clear empties the cache (the square-boundary convention) without
+	// touching the counters.
+	Clear()
+	// Hits reports the number of accesses served from cache.
+	Hits() int64
+	// Misses reports the number of accesses that required a fetch.
+	Misses() int64
 }
 
-// NewPolicy returns a fresh eviction policy by name. The names are the
-// kernel names: "lru" and "fifo".
-func NewPolicy(name string) (EvictionPolicy, error) {
-	mk, ok := policyFactories[name]
+// UnboundedCapacity is the capacity at which a kernel never self-evicts —
+// the external-bound (EvictionPolicy) operating mode, where the owning
+// cache calls Victim/Remove when *its* bound trips.
+const UnboundedCapacity = int64(math.MaxInt64)
+
+// PolicyInfo describes one registered replacement policy.
+type PolicyInfo struct {
+	// Name keys the registry; it is what -cache-policy, the experiment
+	// tables, and every other by-name surface accept.
+	Name string
+	// Summary is a one-line description for catalogs and docs.
+	Summary string
+	// New constructs a kernel with the given capacity (>= 1).
+	New func(capacity int64) (ReplacementPolicy, error)
+}
+
+// policyRegistry maps policy names to their descriptors. ARC/CAR-family
+// policies (Consuegra et al., "Analyzing Adaptive Cache Replacement
+// Strategies") register here from their kernel files' init functions.
+var policyRegistry = map[string]PolicyInfo{}
+
+// RegisterPolicy adds a policy to the name-keyed registry. It is intended
+// for package init time and panics on duplicate or malformed registrations.
+func RegisterPolicy(info PolicyInfo) {
+	if info.Name == "" || info.New == nil {
+		panic("paging: RegisterPolicy needs a name and a constructor")
+	}
+	if _, dup := policyRegistry[info.Name]; dup {
+		panic("paging: duplicate replacement policy " + info.Name)
+	}
+	policyRegistry[info.Name] = info
+}
+
+func init() {
+	RegisterPolicy(PolicyInfo{
+		Name:    "lru",
+		Summary: "least-recently-used: intrusive recency list over a dense node pool",
+		New:     func(capacity int64) (ReplacementPolicy, error) { return NewLRU(capacity) },
+	})
+	RegisterPolicy(PolicyInfo{
+		Name:    "fifo",
+		Summary: "first-in-first-out: circular fetch-order ring, hits do not reorder",
+		New:     func(capacity int64) (ReplacementPolicy, error) { return NewFIFO(capacity) },
+	})
+}
+
+// NewReplacementPolicy returns a fresh kernel by registry name with the
+// given capacity. Unknown names error with the registered names listed.
+func NewReplacementPolicy(name string, capacity int64) (ReplacementPolicy, error) {
+	info, ok := policyRegistry[name]
 	if !ok {
 		return nil, fmt.Errorf("paging: unknown eviction policy %q (have %v)", name, PolicyNames())
 	}
-	return mk(), nil
+	return info.New(capacity)
+}
+
+// NewPolicy returns a fresh eviction policy by name, operating in
+// external-bound mode: the kernel's capacity is pinned at
+// UnboundedCapacity so it never self-evicts, and the caller drives
+// eviction through Victim/Remove.
+func NewPolicy(name string) (EvictionPolicy, error) {
+	p, err := NewReplacementPolicy(name, UnboundedCapacity)
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// HasPolicy reports whether name is registered.
+func HasPolicy(name string) bool {
+	_, ok := policyRegistry[name]
+	return ok
 }
 
 // PolicyNames lists the registered policy names, sorted.
 func PolicyNames() []string {
-	names := make([]string, 0, len(policyFactories))
-	for name := range policyFactories {
+	names := make([]string, 0, len(policyRegistry))
+	for name := range policyRegistry {
 		names = append(names, name) //lint:ignore maporder names is sorted immediately below
 	}
 	sort.Strings(names)
 	return names
 }
 
-// lruPolicy adapts the dense-remapped LRU kernel. The kernel's capacity is
-// pinned at MaxInt64 so it never self-evicts: Access doubles as both Touch
-// (hit path: move to front) and Insert (miss path: push front), and the
-// caller drives eviction through Victim/Remove.
-type lruPolicy struct{ c *LRU }
-
-// NewLRUPolicy returns an EvictionPolicy with least-recently-used order,
-// backed by the array kernel in lru.go.
-func NewLRUPolicy() EvictionPolicy {
-	c, err := NewLRU(math.MaxInt64)
-	if err != nil {
-		panic("paging: NewLRU(MaxInt64) cannot fail: " + err.Error())
+// Policies lists the registered policy descriptors, sorted by name.
+func Policies() []PolicyInfo {
+	infos := make([]PolicyInfo, 0, len(policyRegistry))
+	for _, name := range PolicyNames() {
+		infos = append(infos, policyRegistry[name])
 	}
-	return &lruPolicy{c}
+	return infos
 }
-
-func (p *lruPolicy) Touch(id int64)       { p.c.Access(id) }
-func (p *lruPolicy) Insert(id int64)      { p.c.Access(id) }
-func (p *lruPolicy) Victim() int64        { return p.c.Victim() }
-func (p *lruPolicy) Remove(id int64) bool { return p.c.Remove(id) }
-func (p *lruPolicy) Len() int64           { return p.c.Len() }
-
-// fifoPolicy adapts the ring-buffer FIFO kernel the same way. Touch is a
-// no-op — not reordering on hits is the definition of FIFO.
-type fifoPolicy struct{ c *FIFO }
-
-// NewFIFOPolicy returns an EvictionPolicy with first-in-first-out order,
-// backed by the array kernel in fifo.go.
-func NewFIFOPolicy() EvictionPolicy {
-	c, err := NewFIFO(math.MaxInt64)
-	if err != nil {
-		panic("paging: NewFIFO(MaxInt64) cannot fail: " + err.Error())
-	}
-	return &fifoPolicy{c}
-}
-
-func (p *fifoPolicy) Touch(int64)          {}
-func (p *fifoPolicy) Insert(id int64)      { p.c.Access(id) }
-func (p *fifoPolicy) Victim() int64        { return p.c.Victim() }
-func (p *fifoPolicy) Remove(id int64) bool { return p.c.Remove(id) }
-func (p *fifoPolicy) Len() int64           { return p.c.Len() }

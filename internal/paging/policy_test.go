@@ -48,6 +48,102 @@ func (r *refPolicy) Remove(id int64) bool {
 
 func (r *refPolicy) Len() int64 { return int64(len(r.order)) }
 
+// policyRef is the surface a naive reference model implements — the
+// EvictionPolicy methods, nothing more.
+type policyRef interface {
+	Touch(id int64)
+	Insert(id int64)
+	Victim() int64
+	Remove(id int64) bool
+	Len() int64
+}
+
+// refSegmented is the naive reference for the adaptive kernels' adapter
+// mode, where both degrade to a segmented LRU: Insert lands in the
+// probation segment, Touch promotes to the protected segment's back, and
+// the victim rule is pluggable (ARC drains probation first; 2Q keeps
+// probation at its Kin entitlement). Slices are in eviction order:
+// index 0 is the oldest.
+type refSegmented struct {
+	probation []int64
+	protected []int64
+	// twoQVictim selects the 2Q balance rule (probation evicted only while
+	// over max(1, len/4)) instead of ARC's probation-first rule.
+	twoQVictim bool
+}
+
+func removeID(s []int64, id int64) ([]int64, bool) {
+	for i, v := range s {
+		if v == id {
+			return append(s[:i], s[i+1:]...), true
+		}
+	}
+	return s, false
+}
+
+func (r *refSegmented) Touch(id int64) {
+	var found bool
+	if r.probation, found = removeID(r.probation, id); !found {
+		if r.protected, found = removeID(r.protected, id); !found {
+			return
+		}
+	}
+	r.protected = append(r.protected, id)
+}
+
+func (r *refSegmented) Insert(id int64) { r.probation = append(r.probation, id) }
+
+func (r *refSegmented) Victim() int64 {
+	if r.twoQVictim {
+		kin := (len(r.probation) + len(r.protected)) / 4
+		if kin < 1 {
+			kin = 1
+		}
+		if len(r.probation) > 0 && (len(r.probation) > kin || len(r.protected) == 0) {
+			return r.probation[0]
+		}
+		if len(r.protected) > 0 {
+			return r.protected[0]
+		}
+	}
+	if len(r.probation) > 0 {
+		return r.probation[0]
+	}
+	if len(r.protected) > 0 {
+		return r.protected[0]
+	}
+	return -1
+}
+
+func (r *refSegmented) Remove(id int64) bool {
+	var found bool
+	if r.probation, found = removeID(r.probation, id); found {
+		return true
+	}
+	r.protected, found = removeID(r.protected, id)
+	return found
+}
+
+func (r *refSegmented) Len() int64 { return int64(len(r.probation) + len(r.protected)) }
+
+// newPolicyRef returns the naive reference model for a registered policy's
+// adapter (EvictionPolicy) surface, or nil if none is written yet — which
+// fails the test, deliberately: registering a policy means writing its
+// reference.
+func newPolicyRef(name string) policyRef {
+	switch name {
+	case "lru":
+		return &refPolicy{touchMoves: true}
+	case "fifo":
+		return &refPolicy{}
+	case "arc":
+		return &refSegmented{}
+	case "2q":
+		return &refSegmented{twoQVictim: true}
+	}
+	return nil
+}
+
 // TestPolicyMatchesReference drives each registered policy and its naive
 // reference through the same random op sequence — insert, touch, remove a
 // random resident ID, evict the victim — and checks victim order and
@@ -60,7 +156,10 @@ func TestPolicyMatchesReference(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			ref := &refPolicy{touchMoves: name == "lru"}
+			ref := newPolicyRef(name)
+			if ref == nil {
+				t.Fatalf("no reference model for registered policy %q — add one to newPolicyRef", name)
+			}
 			src := xrand.New(xrand.Split(99, "policy-ref", int64(len(name))))
 
 			resident := map[int64]bool{}

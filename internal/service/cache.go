@@ -54,7 +54,8 @@ type cacheConfig struct {
 	// recomputes it.
 	ttl time.Duration
 	swr time.Duration
-	// policy names the per-shard eviction policy ("lru", "fifo" — see
+	// policy names the per-shard eviction policy — any registered
+	// replacement kernel ("lru", "fifo", "arc", "2q"; see
 	// paging.PolicyNames).
 	policy string
 	// clock is the injected time source for TTL bookkeeping. Required when
@@ -419,7 +420,18 @@ func (c *shardedCache) insertLocked(sh *cacheShard, key string, body []byte) {
 func (sh *cacheShard) evictOverflowLocked(keep int64) {
 	for sh.bytes > sh.maxBytes || int64(len(sh.entries)) > sh.maxEntries {
 		v := sh.policy.Victim()
-		if v < 0 || v == keep {
+		if v == keep {
+			// Segmented policies (ARC, 2Q) can nominate the just-inserted
+			// entry while older residents remain — a fresh insert sits in
+			// the probation segment, which is exactly where those policies
+			// evict from first. Lift it out, take the next victim, and put
+			// it back (a fresh insert's position is re-created exactly by
+			// Insert, so the policy state is unchanged).
+			sh.policy.Remove(keep)
+			v = sh.policy.Victim()
+			sh.policy.Insert(keep)
+		}
+		if v < 0 {
 			return
 		}
 		sh.removeLocked(sh.byID[v])

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/paging"
 	"repro/internal/xrand"
 )
 
@@ -43,9 +44,9 @@ func assertBounds(t *testing.T, c *shardedCache) {
 
 // TestCacheBytesBoundNeverExceeded inserts randomized bodies — including
 // some larger than the whole bytes budget — and asserts after every insert
-// that no shard exceeds either bound, for both eviction policies.
+// that no shard exceeds either bound, for every registered eviction policy.
 func TestCacheBytesBoundNeverExceeded(t *testing.T) {
-	for _, policy := range []string{"lru", "fifo"} {
+	for _, policy := range paging.PolicyNames() {
 		t.Run(policy, func(t *testing.T) {
 			const maxBytes = 4096
 			c, err := newShardedCache(cacheConfig{

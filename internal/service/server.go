@@ -68,8 +68,9 @@ type Options struct {
 	// its own mutex, singleflight table and eviction policy, so requests
 	// for different keys contend only 1/Nth as often.
 	CacheShards int
-	// CachePolicy names the per-shard eviction policy: "lru" (default) or
-	// "fifo" — the paging kernels, promoted from simulator to engine.
+	// CachePolicy names the per-shard eviction policy: any registered
+	// paging kernel ("lru" — the default — "fifo", "arc", "2q"; see
+	// paging.PolicyNames), promoted from simulator to engine.
 	CachePolicy string
 	// CacheTTL bounds a cached body's age; 0 (the default) means entries
 	// never expire, which is sound because bodies are pure functions of

@@ -64,6 +64,17 @@ go test -race -short \
     -run 'TestCacheDifferential|TestCacheBytesBound|TestCacheTTL|TestCacheSWR|TestCacheShardRouting|TestCacheDisabled|TestServiceTablesIdenticalAcrossShardCounts' \
     -count=1
 
+echo "== go test -race (policy registry + adaptive kernels) =="
+# The ReplacementPolicy registry end to end: ARC/2Q differential oracles,
+# the live-kernel box replay (PolicyStream/PolicyRun/OPTRunBoxes), the
+# registry-name plumbing through MeasureTracePolicy, and the reference
+# conformance suite over every registered policy.
+go test -race -short \
+    ./internal/paging/ \
+    ./internal/adaptivity/ \
+    -run 'TestARC|Test2Q|TestTwoQ|TestPolicy|TestOPTRunBoxes|TestMeasureTracePolicy' \
+    -count=1
+
 echo "== go test -race (parallel square replay) =="
 # The sharded replay paths: plan/execute determinism at explicit shard and
 # worker counts, the ledger-merge equivalence, and the finisher early-stop
@@ -116,6 +127,7 @@ go test -run '^$' -fuzz '^FuzzReadTSV$' -fuzztime 5s ./internal/profile/
 go test -run '^$' -fuzz '^FuzzParseIgnoreDirective$' -fuzztime 5s ./internal/lint/
 go test -run '^$' -fuzz '^FuzzParseAnnotation$' -fuzztime 5s ./internal/lint/
 go test -run '^$' -fuzz '^FuzzKernelsMatchOracles$' -fuzztime 5s ./internal/paging/
+go test -run '^$' -fuzz '^FuzzAdaptivePoliciesMatchOracles$' -fuzztime 5s ./internal/paging/
 go test -run '^$' -fuzz '^FuzzParallelMatchesSerial$' -fuzztime 5s ./internal/paging/
 go test -run '^$' -fuzz '^FuzzShardRouting$' -fuzztime 5s ./internal/service/
 go test -run '^$' -fuzz '^FuzzJournalReplay$' -fuzztime 5s ./internal/jobs/
